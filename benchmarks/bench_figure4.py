@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (two-platform climatology validation).
+
+The benchmarked quantity is a real (short) pair of Held--Suarez runs,
+so this bench also exercises the functional dycore end-to-end.
+"""
+
+from repro.experiments.figure4_validation import run_figure4
+
+
+def test_figure4_regeneration(benchmark, record_comparison):
+    table = benchmark.pedantic(
+        run_figure4,
+        kwargs={"verbose": False, "spinup_days": 1.0, "mean_days": 2.0},
+        iterations=1,
+        rounds=1,
+    )
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"climatology validation failed: {failed}"

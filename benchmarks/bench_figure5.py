@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (kernel speedups over platforms)."""
+
+from repro.experiments.figure5_speedups import run_figure5
+
+
+def test_figure5_regeneration(benchmark, record_comparison):
+    table = benchmark(run_figure5, verbose=False)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"speedup claims violated: {failed}"

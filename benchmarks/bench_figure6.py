@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (whole-CAM SYPD sweeps)."""
+
+from repro.experiments.figure6_sypd import run_figure6
+
+
+def test_figure6_regeneration(benchmark, record_comparison):
+    table = benchmark(run_figure6, verbose=False)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"SYPD anchors/bands violated: {failed}"

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (HOMME strong scaling)."""
+
+from repro.experiments.figure7_strong import run_figure7
+
+
+def test_figure7_regeneration(benchmark, record_comparison):
+    table = benchmark.pedantic(run_figure7, kwargs={"verbose": False},
+                               iterations=1, rounds=1)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"strong-scaling shape violated: {failed}"

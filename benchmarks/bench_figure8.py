@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (weak scaling to the full machine)."""
+
+from repro.experiments.figure8_weak import run_figure8
+
+
+def test_figure8_regeneration(benchmark, record_comparison):
+    table = benchmark.pedantic(run_figure8, kwargs={"verbose": False},
+                               iterations=1, rounds=1)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"weak-scaling shape violated: {failed}"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (Katrina resolution sensitivity).
+
+Runs the real twin experiment (coarse + fine members with the full
+dycore and RJ physics on the reduced-radius sphere); the heaviest
+benchmark in the harness.
+"""
+
+from repro.experiments.figure9_katrina import run_figure9
+
+
+def test_figure9_regeneration(benchmark, record_comparison):
+    table = benchmark.pedantic(
+        run_figure9,
+        kwargs={"verbose": False, "hours": 4.0},
+        iterations=1,
+        rounds=1,
+    )
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"Katrina resolution sensitivity failed: {failed}"

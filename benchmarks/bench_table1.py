@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (kernel timings per platform).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only``.
+The benchmarked callable is the full table regeneration; the assertions
+check every simulated cell against the paper.
+"""
+
+import pytest
+
+from repro.experiments.table1_kernels import PAPER_TABLE1, run_table1
+
+
+def test_table1_regeneration(benchmark, record_comparison):
+    table = benchmark(run_table1, verbose=False)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"cells off by >25%: {failed}"
+
+
+def test_table1_row_count(benchmark):
+    table = benchmark(run_table1, verbose=False)
+    # 6 kernels x 3 published columns.
+    assert len(table.records) == len(PAPER_TABLE1) * 3

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 (NGGPS comparison vs FV3/MPAS)."""
+
+from repro.experiments.table3_nggps import run_table3
+
+
+def test_table3_regeneration(benchmark, record_comparison):
+    table = benchmark(run_table3, verbose=False)
+    record_comparison(table)
+    failed = [r.quantity for r in table.records if not r.passed]
+    assert table.all_passed, f"NGGPS ratio structure violated: {failed}"

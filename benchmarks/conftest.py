@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def record_comparison():
+    """Collect comparison tables across benchmarks and print a digest."""
+    tables = []
+
+    def _record(table):
+        tables.append(table)
+        return table
+
+    yield _record
+    if tables:
+        print("\n\n===== paper-vs-measured digest =====")
+        for t in tables:
+            print()
+            print(t.render())

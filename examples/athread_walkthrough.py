@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Algorithms 1 and 2, executed on the simulated SW26010 hardware.
+
+The paper's pivotal code comparison (Section 7.3): the OpenACC port of
+euler_step copyins its arrays inside the tracer loop (Algorithm 1),
+while the Athread rewrite keeps them LDM-resident with double-buffered
+DMA (Algorithm 2), cutting measured data transfer to ~10%.
+
+This script runs BOTH versions functionally — real bytes through the
+scratchpad allocator and DMA engine, real flops through the vector
+unit — verifies the results are bit-identical, and prints the traffic
+ledger.
+
+Run:  python examples/athread_walkthrough.py
+"""
+
+from repro.backends.functional_exec import (
+    AthreadStyleExecution,
+    MiniWorkload,
+    OpenACCStyleExecution,
+    _reference_update,
+)
+from repro.utils.tables import render_table
+
+import numpy as np
+
+
+def main() -> None:
+    # The paper's configuration: 25 tracers, the kernel's ~5 loop nests.
+    wl = MiniWorkload.random(qsize=25, nlev=16, points=16)
+    passes = 5
+
+    acc = OpenACCStyleExecution(passes=passes)
+    ath = AthreadStyleExecution(passes=passes)
+    out_acc = acc.run(wl)
+    out_ath = ath.run(wl)
+    ref = _reference_update(wl, passes=passes)
+
+    print("Numerics:")
+    print(f"  OpenACC matches reference : {np.allclose(out_acc, ref)}")
+    print(f"  Athread matches reference : {np.allclose(out_ath, ref)}")
+    print(f"  bit-identical results     : {np.array_equal(out_acc, out_ath)}")
+    print()
+
+    rows = [
+        ["OpenACC (Algorithm 1)", f"{acc.dma_bytes / 1024:.0f}",
+         acc.cpe.dma.transfer_count, f"{acc.cpe.vector.flops}"],
+        ["Athread (Algorithm 2)", f"{ath.dma_bytes / 1024:.0f}",
+         ath.cpe.dma.transfer_count, f"{ath.cpe.vector.flops}"],
+    ]
+    print(render_table(
+        ["discipline", "DMA KB", "DMA descriptors", "vector flops"],
+        rows, title="Traffic ledger (25 tracers x 5 loop nests)",
+    ))
+    ratio = ath.dma_bytes / acc.dma_bytes
+    print(f"\nAthread/OpenACC traffic ratio: {ratio:.3f}")
+    print('Paper, Section 7.3: "total data transfer size has been decreased')
+    print('to 10% compared with the OpenACC solution".')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The bndry_exchangev redesign: functional proof + paper-scale effect.
+
+Part 1 integrates the distributed shallow-water model (every DSS a
+real halo exchange over SimMPI) under both disciplines and proves the
+numerics are bit-identical — the redesign changes *when* data moves,
+never *what* is computed.
+
+Part 2 evaluates the calibrated step-time model at the paper's scales,
+where halo messages carry 128 levels x ~46 fields and the MPE-side
+pack/unpack is substantial: the overlap + direct-unpack redesign buys
+up to ~20% of the step, approaching the paper's "23% in the best
+cases" (Section 7.6).
+
+Run:  python examples/distributed_overlap.py
+"""
+
+import numpy as np
+
+from repro.homme.distributed import DistributedShallowWater
+from repro.mesh import CubedSphereMesh
+from repro.perf.scaling import HommePerfModel
+from repro.utils.tables import render_table
+
+
+def functional_proof() -> None:
+    print("Part 1: functional equivalence on a real distributed integration")
+    mesh = CubedSphereMesh(ne=8)
+    states = {}
+    for mode in ("classic", "overlap"):
+        m = DistributedShallowWater(mesh, nranks=16, mode=mode)
+        m.run_steps(5)
+        states[mode] = m.gather_state()
+    same_h = np.array_equal(states["classic"].h, states["overlap"].h)
+    same_v = np.array_equal(states["classic"].v, states["overlap"].v)
+    print(f"  5 RK3 steps on 16 ranks: h bit-identical={same_h}, "
+          f"v bit-identical={same_v}\n")
+
+
+def paper_scale_effect() -> None:
+    print("Part 2: the redesign at the paper's scales (step-time model)")
+    rows = []
+    for ne, nproc in ((256, 16384), (256, 65536), (256, 131072), (1024, 131072)):
+        on = HommePerfModel(ne, nproc, overlap=True)
+        off = HommePerfModel(ne, nproc, overlap=False)
+        gain = 1.0 - on.step_seconds / off.step_seconds
+        rows.append(
+            [f"ne{ne}", nproc, on.elems_per_proc,
+             f"{off.step_seconds * 1e3:.2f}", f"{on.step_seconds * 1e3:.2f}",
+             f"{gain * 100:.1f}%"]
+        )
+    print(render_table(
+        ["mesh", "ranks", "elems/rank", "classic step [ms]",
+         "redesigned step [ms]", "saving"],
+        rows,
+        title="Overlap + direct unpack vs classic bndry_exchangev",
+    ))
+    print()
+    print('Paper, Section 7.6: the overlap "reduces the run time of HOMME by')
+    print('23% in the best cases"; direct unpack removes the redundant')
+    print("pack-buffer memcpy on top.")
+
+
+if __name__ == "__main__":
+    functional_proof()
+    paper_scale_effect()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Section 10, made runnable: what the redesign buys on the next machine.
+
+The paper closes by arguing that the Sunway redesign methodology is
+what the Exascale transition will demand.  This example projects the
+calibrated CAM-SE models onto a plausible successor (compute x12,
+bandwidth x4, LDM x4) and quantifies the two warnings:
+
+1. the roofline ridge moves right — traffic minimization matters more;
+2. strong-scaled climate configurations hit the serial/communication
+   wall: even an infinitely fast chip buys a bounded speedup.
+
+Run:  python examples/exascale_projection.py
+"""
+
+from repro.perf.exascale import (
+    exascale_spec,
+    project,
+    speed_wall_analysis,
+)
+from repro.sunway.spec import DEFAULT_SPEC
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    s = exascale_spec()
+    print("Successor chip (per core group):")
+    print(f"  peak compute : {DEFAULT_SPEC.cg_peak_flops / 1e9:7.0f} -> "
+          f"{s.cg_peak_flops / 1e9:7.0f} GF/s")
+    print(f"  bandwidth    : {DEFAULT_SPEC.cg_memory_bandwidth / 1e9:7.1f} -> "
+          f"{s.cg_memory_bandwidth / 1e9:7.1f} GB/s")
+    ridge0 = DEFAULT_SPEC.cg_peak_flops / DEFAULT_SPEC.cg_memory_bandwidth
+    ridge1 = s.cg_peak_flops / s.cg_memory_bandwidth
+    print(f"  roofline ridge: {ridge0:.0f} -> {ridge1:.0f} flops/byte "
+          f"(traffic minimization matters {ridge1 / ridge0:.1f}x more)\n")
+
+    rows = []
+    for ne, nproc in ((256, 8192), (256, 131072), (1024, 8192), (1024, 131072)):
+        p = project(ne, nproc)
+        rows.append(
+            [f"ne{ne}", nproc,
+             f"{p.today_pflops:.3f}", f"{p.exa_pflops:.3f}",
+             f"{p.today_sypd:.3f}", f"{p.exa_sypd:.3f}",
+             f"{p.sypd_gain:.2f}x"]
+        )
+    print(render_table(
+        ["mesh", "ranks", "PFlops now", "PFlops exa",
+         "SYPD now", "SYPD exa", "SYPD gain"],
+        rows, title="HOMME projected onto the successor machine",
+    ))
+
+    wall = speed_wall_analysis()
+    print()
+    print("The simulation-speed wall (ne1024, 131,072 ranks):")
+    print(f"  step time now           : {wall['step_seconds'] * 1e3:.1f} ms")
+    print(f"  compute fraction        : {wall['compute_fraction'] * 100:.0f}%")
+    print(f"  irreducible (serial+net): {wall['irreducible_seconds'] * 1e3:.1f} ms")
+    print(f"  speedup with an INFINITE chip: "
+          f"{wall['max_speedup_infinite_chip']:.1f}x — the wall the paper's")
+    print("  'redesign, not just port' argument is about.")
+
+
+if __name__ == "__main__":
+    main()

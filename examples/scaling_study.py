@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the paper's Figures 6-8 from the models.
+
+Sweeps the whole-CAM SYPD curves (Figure 6), the HOMME strong-scaling
+curves (Figure 7), and the weak-scaling series (Figure 8), printing the
+same rows the paper plots.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments.figure6_sypd import run_figure6
+from repro.experiments.figure7_strong import run_figure7
+from repro.experiments.figure8_weak import run_figure8
+
+
+if __name__ == "__main__":
+    print("#" * 72)
+    print("# Figure 6: whole-CAM simulation speed")
+    print("#" * 72)
+    run_figure6()
+    print()
+    print("#" * 72)
+    print("# Figure 7: HOMME strong scaling")
+    print("#" * 72)
+    run_figure7()
+    print()
+    print("#" * 72)
+    print("# Figure 8: weak scaling to 10,075,000 cores")
+    print("#" * 72)
+    run_figure8()

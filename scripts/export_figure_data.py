@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Export every regenerated table/figure as CSV for external plotting.
+
+Usage:  python scripts/export_figure_data.py [outdir]
+
+Writes one CSV per artifact (table1.csv, figure5.csv, ...) containing
+the same series the paper plots, so downstream users can overlay the
+reproduction on the original figures with their plotting tool of
+choice.  The simulation-backed artifacts (Figure 4/9) export their
+comparison records rather than re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.backends import ALL_BACKENDS, table1_workloads
+from repro.baselines import NGGPSBenchmark
+from repro.experiments.figure6_sypd import NE30_PROCS, NE120_PROCS
+from repro.experiments.figure7_strong import NE1024_PROCS, NE256_PROCS
+from repro.experiments.figure8_weak import FULL_MACHINE, WEAK_SERIES
+from repro.perf.scaling import CAMPerfModel, HommePerfModel
+
+
+def write_csv(path: Path, header: list[str], rows: list[list]) -> None:
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(header)
+        w.writerows(rows)
+    print(f"  wrote {path} ({len(rows)} rows)")
+
+
+def export_table1(outdir: Path) -> None:
+    wls = table1_workloads()
+    backends = {n: c() for n, c in ALL_BACKENDS.items()}
+    rows = [
+        [k] + [backends[b].execute(wl).seconds for b in ("intel", "mpe", "openacc", "athread")]
+        for k, wl in wls.items()
+    ]
+    write_csv(outdir / "table1.csv",
+              ["kernel", "intel_s", "mpe_s", "openacc_s", "athread_s"], rows)
+
+
+def export_figure6(outdir: Path) -> None:
+    rows = []
+    for nproc in NE30_PROCS:
+        for b in ("mpe", "openacc", "athread"):
+            rows.append(["ne30", b, nproc, CAMPerfModel(30, nproc, backend=b).sypd()])
+    for nproc in NE120_PROCS:
+        rows.append(["ne120", "openacc", nproc,
+                     CAMPerfModel(120, nproc, backend="openacc").sypd()])
+    write_csv(outdir / "figure6.csv", ["case", "backend", "nproc", "sypd"], rows)
+
+
+def export_figure7(outdir: Path) -> None:
+    rows = []
+    for label, ne, procs in (("ne256", 256, NE256_PROCS), ("ne1024", 1024, NE1024_PROCS)):
+        base = None
+        for p in procs:
+            m = HommePerfModel(ne, p)
+            base = base or m
+            rows.append([label, p, m.elems_per_proc, m.pflops,
+                         m.parallel_efficiency(base)])
+    write_csv(outdir / "figure7.csv",
+              ["case", "nproc", "elems_per_proc", "pflops", "efficiency"], rows)
+
+
+def export_figure8(outdir: Path) -> None:
+    rows = []
+    for elems, series in WEAK_SERIES.items():
+        base = None
+        for ne, p in series:
+            m = HommePerfModel(ne, p)
+            base = base or m
+            rows.append([f"{elems}epp", ne, p, m.pflops, m.parallel_efficiency(base)])
+    m = HommePerfModel(*FULL_MACHINE)
+    rows.append(["650epp_full_machine", FULL_MACHINE[0], FULL_MACHINE[1], m.pflops, ""])
+    write_csv(outdir / "figure8.csv",
+              ["series", "ne", "nproc", "pflops", "efficiency"], rows)
+
+
+def export_table3(outdir: Path) -> None:
+    rows = []
+    for row in NGGPSBenchmark().run():
+        for model in ("ours", "fv3", "mpas"):
+            rows.append([row.label, model, row.seconds[model],
+                         row.paper_seconds[model]])
+    write_csv(outdir / "table3.csv",
+              ["workload", "model", "simulated_s", "paper_s"], rows)
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figure_data")
+    outdir.mkdir(parents=True, exist_ok=True)
+    print(f"Exporting figure data to {outdir}/")
+    export_table1(outdir)
+    export_figure6(outdir)
+    export_figure7(outdir)
+    export_figure8(outdir)
+    export_table3(outdir)
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

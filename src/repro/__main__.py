@@ -1,0 +1,10 @@
+"""``python -m repro`` — run the experiment drivers from the command line.
+
+Delegates to :mod:`repro.experiments.runner`; see its docstring for
+usage (``python -m repro --all``, ``python -m repro table1 figure7``,
+``--quick`` to shorten the simulation-backed experiments).
+"""
+
+from .experiments.runner import main
+
+raise SystemExit(main())

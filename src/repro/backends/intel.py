@@ -1,0 +1,43 @@
+"""The Intel Xeon E5-2680 v3 reference backend (one core per process).
+
+Table 1 and Figure 5 measure every Sunway variant against one Intel
+core running the original Fortran.  The model is a per-kernel roofline:
+compute at ``peak x achieved-vector-efficiency``, memory at the
+per-core share of socket bandwidth, plus nothing else (the original
+code has no offload overheads).
+"""
+
+from __future__ import annotations
+
+from .. import constants as C
+from .base import Backend, KernelReport, KernelWorkload
+
+
+class IntelBackend(Backend):
+    """One Haswell core executing the original kernel."""
+
+    name = "intel"
+
+    def __init__(
+        self,
+        peak_flops: float = C.INTEL_CORE_PEAK_FLOPS,
+        bandwidth: float = C.INTEL_CORE_BANDWIDTH,
+    ) -> None:
+        self.peak_flops = peak_flops
+        self.bandwidth = bandwidth
+
+    def execute(self, wl: KernelWorkload) -> KernelReport:
+        compute = wl.flops / (self.peak_flops * wl.vec_intel)
+        # The cache hierarchy captures reuse: only unique traffic pays.
+        memory = wl.unique_bytes / self.bandwidth
+        seconds = max(compute, memory)
+        return KernelReport(
+            name=wl.name,
+            backend=self.name,
+            seconds=seconds,
+            flops=wl.flops,
+            bytes_moved=wl.unique_bytes,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            notes={"bound": "compute" if compute >= memory else "memory"},
+        )

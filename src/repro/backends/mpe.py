@@ -1,0 +1,50 @@
+"""The MPE-only backend: the naive port, before any CPE use.
+
+Table 1's "MPE" column: the original code on the management core alone
+runs 2--10x slower than one Intel core — the starting point that makes
+the whole refactoring necessary.  The MPE is a single in-order-ish RISC
+core without wide SIMD for this code, so its compute rate is flat
+(vectorization differences between kernels disappear), while its
+single-thread memory path is far below the memory controller's peak.
+"""
+
+from __future__ import annotations
+
+from .base import Backend, KernelReport, KernelWorkload
+
+#: Peak MPE scalar flop rate [flop/s] (1.45 GHz, ~1.4 flops/cycle on
+#: scalar FMA-friendly loops); per-kernel cache behaviour scales it
+#: down via ``KernelWorkload.mpe_efficiency``.
+MPE_FLOP_RATE = 2.0e9
+
+#: Single-thread achieved memory bandwidth on the MPE [bytes/s].
+MPE_BANDWIDTH = 4.0e9
+
+
+class MPEBackend(Backend):
+    """The management core executing the unmodified kernel."""
+
+    name = "mpe"
+
+    def __init__(
+        self,
+        flop_rate: float = MPE_FLOP_RATE,
+        bandwidth: float = MPE_BANDWIDTH,
+    ) -> None:
+        self.flop_rate = flop_rate
+        self.bandwidth = bandwidth
+
+    def execute(self, wl: KernelWorkload) -> KernelReport:
+        compute = wl.flops / (self.flop_rate * wl.mpe_efficiency)
+        memory = wl.unique_bytes / self.bandwidth
+        seconds = max(compute, memory)
+        return KernelReport(
+            name=wl.name,
+            backend=self.name,
+            seconds=seconds,
+            flops=wl.flops,
+            bytes_moved=wl.unique_bytes,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            notes={"bound": "compute" if compute >= memory else "memory"},
+        )

@@ -1,0 +1,79 @@
+"""The OpenACC directive backend: the first-stage refactoring.
+
+Models the constraints the paper documents for the Sunway OpenACC
+compiler (Section 7.3):
+
+- **single collapse**: only one loop level maps to the CPE cluster, and
+  no code can be inserted between collapsed loops — so shared arrays
+  are ``copyin``'d inside the tracer loop and re-read every iteration
+  (``reread_factor_openacc``, measured ~10x for euler_step);
+- **no LDM staging for complex kernels** (``acc_ldm_fit=False``): the
+  working set cannot be tiled under the directive restrictions, so
+  accesses fall back to direct gld/gst global loads at a fraction of
+  DMA bandwidth — this is what makes compute_and_apply_rhs 6x *slower*
+  than one Intel core;
+- **no vectorization control**: the compiler's achieved SIMD fraction
+  is low (``vec_openacc``);
+- **threading overhead**: each accelerated region pays a launch cost,
+  significant for a model with hundreds of small kernels;
+- **Amdahl**: the serial fraction (vertical dependencies) runs on one
+  CPE at scalar speed.
+"""
+
+from __future__ import annotations
+
+from .. import constants as C
+from .base import Backend, KernelReport, KernelWorkload
+
+#: Kernel-launch overhead per accelerated region [s] (spawn + join of
+#: the CPE cluster through the Athread runtime underneath OpenACC).
+LAUNCH_OVERHEAD = 9.0e-6
+
+#: Effective bandwidth of direct gld/gst global accesses from CPEs
+#: [bytes/s per CG] — roughly an order of magnitude below DMA.
+GLD_BANDWIDTH = 2.6e9
+
+#: Scalar rate of one CPE on serialized (non-vector, LDM-miss) code.
+CPE_SCALAR_RATE = 0.5e9
+
+
+class OpenACCBackend(Backend):
+    """64 CPEs driven by Sunway OpenACC directives."""
+
+    name = "openacc"
+
+    def __init__(self, spec=None) -> None:
+        from ..sunway.spec import DEFAULT_SPEC
+
+        self.spec = spec or DEFAULT_SPEC
+
+    def execute(self, wl: KernelWorkload) -> KernelReport:
+        cluster_peak = self.spec.cg_peak_flops
+        parallel_flops = wl.flops * (1.0 - wl.serial_fraction)
+        compute = parallel_flops / (cluster_peak * wl.vec_openacc)
+
+        # Memory: DMA when the directive port can buffer, gld otherwise.
+        bw = self.spec.cg_memory_bandwidth if wl.acc_ldm_fit else GLD_BANDWIDTH
+        bytes_moved = wl.unique_bytes * wl.reread_factor_openacc
+        memory = bytes_moved / bw
+
+        # Serialized remainder: one CPE, scalar, cache-less.
+        serial = wl.flops * wl.serial_fraction / CPE_SCALAR_RATE
+
+        overhead = wl.launch_regions * LAUNCH_OVERHEAD + serial
+        seconds = max(compute, memory) + overhead
+        return KernelReport(
+            name=wl.name,
+            backend=self.name,
+            seconds=seconds,
+            flops=wl.flops,
+            bytes_moved=bytes_moved,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            overhead_seconds=overhead,
+            notes={
+                "bound": "compute" if compute >= memory else "memory",
+                "gld_fallback": not wl.acc_ldm_fit,
+                "serial_seconds": serial,
+            },
+        )

@@ -1,0 +1,17 @@
+"""Baseline dynamical cores for the NGGPS comparison (paper Table 3).
+
+The paper compares its redesigned HOMME against FV3 (GFDL's
+finite-volume cubed-sphere core) and MPAS (NCAR's unstructured Voronoi
+C-grid core) on the Next Generation Global Prediction System benchmark
+workloads.  We cannot run the real codes, so each baseline is an
+algorithmic cost model grounded in its discretization (cell counts,
+timestep laws, per-cell work, halo pattern) with per-core constants
+calibrated against the published NGGPS 13-km results; the 3-km rows are
+then *predictions* checked against the paper's Table 3.
+"""
+
+from .fv3 import FV3Model
+from .mpas import MPASModel
+from .nggps import NGGPSBenchmark, NGGPS_WORKLOADS
+
+__all__ = ["FV3Model", "MPASModel", "NGGPSBenchmark", "NGGPS_WORKLOADS"]

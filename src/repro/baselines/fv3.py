@@ -1,0 +1,80 @@
+"""FV3 (GFDL finite-volume cubed-sphere) cost model.
+
+Discretization facts used by the model:
+
+- cubed-sphere of C``N`` resolution: ``6 N^2`` columns, grid spacing
+  ~ 10,000 km / N (C768 ~ 13 km, C3072 ~ 3.25 km);
+- vertically-Lagrangian finite volume with ~127 levels and an acoustic
+  sub-stepped dynamics; the large timestep scales with dx;
+- 2D domain decomposition with wide (3-4 cell) halos — relatively more
+  halo traffic per cell than spectral elements, so strong-scaling
+  efficiency falls faster at the 3-km scale.
+
+The per-(cell, level, step) cost constant is calibrated once against
+the published NGGPS 13-km benchmark throughput; the 3-km entry of the
+paper's Table 3 is then a prediction of this model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import BaselineError
+
+#: Calibrated cost per (cell, level, large-step) on one NGGPS-era core
+#: [core-seconds], including the acoustic substeps.
+FV3_CELL_COST = 1.83e-6
+
+#: Granularity floor: per-step seconds that do not shrink with ranks
+#: (halo latency, load imbalance of the wide stencils).
+FV3_STEP_FLOOR = 1.76e-2
+
+#: Vertical levels in the NGGPS configuration.
+FV3_NLEV = 127
+
+
+@dataclass(frozen=True)
+class FV3Model:
+    """Time-to-solution model for FV3 on an NGGPS workload."""
+
+    resolution_km: float
+    nproc: int
+
+    def __post_init__(self) -> None:
+        if self.resolution_km <= 0:
+            raise BaselineError("resolution must be positive")
+        if self.nproc < 1:
+            raise BaselineError("nproc must be >= 1")
+
+    @property
+    def n_c(self) -> int:
+        """Cubed-sphere N for this resolution (~10,000 km / N spacing)."""
+        return int(round(10000.0 / self.resolution_km))
+
+    @property
+    def cells(self) -> int:
+        return 6 * self.n_c * self.n_c
+
+    @property
+    def dt_seconds(self) -> float:
+        """Large (vertically-Lagrangian) timestep, ~ dx-limited.
+
+        FV3 runs ~112.5 s at 13 km (NGGPS configuration), scaling
+        linearly with grid spacing.
+        """
+        return 112.5 * self.resolution_km / 13.0
+
+    def steps(self, forecast_seconds: float) -> int:
+        return max(1, math.ceil(forecast_seconds / self.dt_seconds))
+
+    def step_seconds(self) -> float:
+        """Wall seconds per large step."""
+        work = self.cells * FV3_NLEV * FV3_CELL_COST / self.nproc
+        return work + FV3_STEP_FLOOR
+
+    def time_to_solution(self, forecast_seconds: float) -> float:
+        """Wall seconds for a forecast of the given length."""
+        if forecast_seconds <= 0:
+            raise BaselineError("forecast length must be positive")
+        return self.steps(forecast_seconds) * self.step_seconds()

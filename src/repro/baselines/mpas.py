@@ -1,0 +1,71 @@
+"""MPAS (Model for Prediction Across Scales) cost model.
+
+Discretization facts used by the model:
+
+- quasi-uniform spherical centroidal Voronoi tessellation: cell count
+  ~ 5.1e8 km^2 / dx^2 (the full sphere at the nominal spacing);
+- C-grid staggered, split-explicit time integration whose large step is
+  smaller than FV3's at equal dx (~ 4.5 dx seconds/km in the NGGPS
+  configuration), with more expensive per-cell reconstruction on the
+  unstructured mesh;
+- indirect-addressed unstructured halos cost more per cell and scale
+  worse, which is why MPAS trails in both Table 3 rows.
+
+Constants calibrated against the NGGPS 13-km throughput; the 3-km row
+is a prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import BaselineError
+
+#: Earth surface area [km^2] used for Voronoi cell counts.
+EARTH_AREA_KM2 = 5.101e8
+
+#: Calibrated cost per (cell, level, step) [core-seconds]; higher than
+#: FV3's per-step constant because of indirect addressing.
+MPAS_CELL_COST = 6.74e-6
+
+#: Per-step floor (unstructured halo latency + imbalance).
+MPAS_STEP_FLOOR = 1.60e-2
+
+#: Vertical levels in the NGGPS configuration.
+MPAS_NLEV = 55
+
+
+@dataclass(frozen=True)
+class MPASModel:
+    """Time-to-solution model for MPAS on an NGGPS workload."""
+
+    resolution_km: float
+    nproc: int
+
+    def __post_init__(self) -> None:
+        if self.resolution_km <= 0:
+            raise BaselineError("resolution must be positive")
+        if self.nproc < 1:
+            raise BaselineError("nproc must be >= 1")
+
+    @property
+    def cells(self) -> int:
+        return int(EARTH_AREA_KM2 / self.resolution_km**2)
+
+    @property
+    def dt_seconds(self) -> float:
+        """Split-explicit large step (~4.5 s per km of spacing)."""
+        return 4.5 * self.resolution_km
+
+    def steps(self, forecast_seconds: float) -> int:
+        return max(1, math.ceil(forecast_seconds / self.dt_seconds))
+
+    def step_seconds(self) -> float:
+        work = self.cells * MPAS_NLEV * MPAS_CELL_COST / self.nproc
+        return work + MPAS_STEP_FLOOR
+
+    def time_to_solution(self, forecast_seconds: float) -> float:
+        if forecast_seconds <= 0:
+            raise BaselineError("forecast length must be positive")
+        return self.steps(forecast_seconds) * self.step_seconds()

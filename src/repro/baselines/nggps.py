@@ -1,0 +1,84 @@
+"""The NGGPS benchmark harness (paper Table 3).
+
+Two fixed prediction workloads at the published process counts:
+
+- 12.5 km, 2-hour forecast: ours 131,072 procs, FV3 110,592, MPAS 96,000;
+- 3 km, 30-minute forecast: ours 131,072, FV3 110,592, MPAS 131,072.
+
+"Our work" is the redesigned HOMME evaluated by
+:class:`~repro.perf.scaling.HommePerfModel`; FV3 and MPAS come from
+their calibrated cost models.  Absolute seconds live in our simulated
+time base; the comparison criterion is the *ratio* structure the paper
+reports (HOMME fastest; FV3 ~1.3x at 12.5 km growing to ~2.1x at 3 km;
+MPAS ~2.8x growing to ~4.5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.scaling import HommePerfModel
+from .fv3 import FV3Model
+from .mpas import MPASModel
+
+#: Table 3 rows: (label, resolution_km, forecast_seconds, our ne,
+#: (ours, fv3, mpas) process counts, paper times (s)).
+NGGPS_WORKLOADS = (
+    {
+        "label": "12.5 km / 2-hour prediction",
+        "resolution_km": 12.5,
+        "forecast_seconds": 2 * 3600.0,
+        "ne": 256,
+        "nproc": {"ours": 131072, "fv3": 110592, "mpas": 96000},
+        "paper_seconds": {"ours": 2.712, "fv3": 3.56, "mpas": 7.56},
+    },
+    {
+        "label": "3 km / 30-min prediction",
+        "resolution_km": 3.0,
+        "forecast_seconds": 30 * 60.0,
+        "ne": 1024,
+        "nproc": {"ours": 131072, "fv3": 110592, "mpas": 131072},
+        "paper_seconds": {"ours": 14.379, "fv3": 30.31, "mpas": 64.80},
+    },
+)
+
+
+@dataclass
+class NGGPSRow:
+    """One regenerated Table-3 row."""
+
+    label: str
+    seconds: dict[str, float]
+    paper_seconds: dict[str, float]
+
+    def ratio(self, model: str) -> float:
+        """Measured time of ``model`` relative to ours."""
+        return self.seconds[model] / self.seconds["ours"]
+
+    def paper_ratio(self, model: str) -> float:
+        return self.paper_seconds[model] / self.paper_seconds["ours"]
+
+
+class NGGPSBenchmark:
+    """Regenerates Table 3 from the three models."""
+
+    def run(self) -> list[NGGPSRow]:
+        rows = []
+        for wl in NGGPS_WORKLOADS:
+            homme = HommePerfModel(wl["ne"], wl["nproc"]["ours"])
+            steps = wl["forecast_seconds"] / homme.cfg.dt_dynamics
+            ours = steps * homme.step_seconds
+            fv3 = FV3Model(wl["resolution_km"], wl["nproc"]["fv3"]).time_to_solution(
+                wl["forecast_seconds"]
+            )
+            mpas = MPASModel(wl["resolution_km"], wl["nproc"]["mpas"]).time_to_solution(
+                wl["forecast_seconds"]
+            )
+            rows.append(
+                NGGPSRow(
+                    wl["label"],
+                    {"ours": ours, "fv3": fv3, "mpas": mpas},
+                    dict(wl["paper_seconds"]),
+                )
+            )
+        return rows

@@ -1,0 +1,49 @@
+"""The paper's refactoring toolchain, as a first-class library.
+
+The porting effort was tool-driven (Section 7.2): "we design a loop
+transformation tool to identify and expose the most suitable level of
+loop body for the parallelization on the CPE cluster" and "a memory
+footprint analysis and reduction tool ... to fit the frequently-
+accessed variables into the local fast buffer of the CPE".  This
+subpackage builds those tools over a small loop-nest IR:
+
+- :mod:`~repro.core.ir` — loop nests, arrays, and access descriptors;
+- :mod:`~repro.core.translator` — the loop transformation tool:
+  dependence-aware selection of the parallel loop level, loop
+  collapsing/aggregation, and the OpenACC annotation pass;
+- :mod:`~repro.core.footprint` — the memory footprint analysis and
+  reduction tool: per-iteration working sets, reuse detection, and the
+  tiling factors that fit 64 KB;
+- :mod:`~repro.core.tiling` — LDM tiling plans validated against the
+  scratchpad allocator;
+- :mod:`~repro.core.roofline` — the bandwidth-bound projected
+  performance upper bound used to decide which kernels justified the
+  Athread redesign;
+- :mod:`~repro.core.pipeline` — the two-stage workflow driver
+  (OpenACC refactor, then Athread redesign where the projection says
+  the directive port leaves >2x on the table).
+"""
+
+from .ir import Array, Access, Loop, LoopNest
+from .translator import LoopTransformer, TranslationResult
+from .footprint import FootprintAnalyzer, FootprintReport
+from .tiling import TilingPlanner, TilingPlan
+from .roofline import roofline_time, projected_upper_bound
+from .pipeline import RefactorPipeline, KernelDecision
+
+__all__ = [
+    "Array",
+    "Access",
+    "Loop",
+    "LoopNest",
+    "LoopTransformer",
+    "TranslationResult",
+    "FootprintAnalyzer",
+    "FootprintReport",
+    "TilingPlanner",
+    "TilingPlan",
+    "roofline_time",
+    "projected_upper_bound",
+    "RefactorPipeline",
+    "KernelDecision",
+]

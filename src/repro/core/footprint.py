@@ -1,0 +1,124 @@
+"""The memory footprint analysis and reduction tool (paper Section 7.2).
+
+Given a loop nest and a candidate parallel mapping, compute the
+per-CPE-iteration working set — the bytes of each array one iteration
+of the parallel loop touches — and find the level-tiling factor that
+fits the working set into the 64 KB LDM ("to fit the frequently-
+accessed variables into the local fast buffer of the CPE").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FootprintError
+from .ir import LoopNest
+
+#: Default scratchpad budget: 64 KB minus the stack/runtime reserve.
+LDM_BUDGET = 56 * 1024
+
+
+@dataclass
+class FootprintReport:
+    """Working-set analysis of one loop nest under a parallel mapping.
+
+    - ``per_iteration_bytes``: bytes one parallel iteration touches,
+      per array;
+    - ``total_bytes``: their sum (the naive LDM requirement);
+    - ``tile_factor``: the divisor applied to the innermost tileable
+      loop so the tiled working set fits the budget (1 = fits as is);
+    - ``tiled_bytes``: the working set after tiling;
+    - ``resident``: arrays worth pinning in LDM across iterations
+      (touched by every iteration with the same bytes — the reuse the
+      Athread rewrite exploits).
+    """
+
+    nest: str
+    per_iteration_bytes: dict[str, int]
+    total_bytes: int
+    tile_factor: int
+    tiled_bytes: int
+    resident: tuple[str, ...]
+
+    @property
+    def fits(self) -> bool:
+        return self.tiled_bytes <= LDM_BUDGET
+
+
+class FootprintAnalyzer:
+    """The footprint analysis and reduction tool."""
+
+    def __init__(self, budget: int = LDM_BUDGET) -> None:
+        if budget < 1024:
+            raise FootprintError("budget unrealistically small")
+        self.budget = budget
+
+    def analyze(
+        self,
+        nest: LoopNest,
+        parallel_vars: tuple[str, ...],
+        tile_var: str | None = None,
+    ) -> FootprintReport:
+        """Working set of one parallel iteration, with level tiling.
+
+        ``parallel_vars`` are the loops distributed across CPEs (one
+        iteration of each per CPE at a time); ``tile_var`` is the loop
+        whose extent may be blocked to shrink the footprint (defaults
+        to the innermost loop not in ``parallel_vars``).
+        """
+        for v in parallel_vars:
+            nest.loop(v)  # validates
+        inner = [l for l in nest.loops if l.var not in parallel_vars]
+        if tile_var is None and inner:
+            tile_var = inner[0].var
+        if tile_var is not None and tile_var in parallel_vars:
+            raise FootprintError(f"tile var {tile_var!r} is a parallel var")
+
+        per_arr: dict[str, int] = {}
+        for arr in nest.arrays():
+            accs = [a for a in nest.accesses if a.array.name == arr.name]
+            # Bytes per iteration: full array divided by the extents of
+            # parallel loops that index it.
+            bytes_ = arr.nbytes
+            for v in parallel_vars:
+                if any(a.uses_loop(v) for a in accs):
+                    bytes_ //= nest.loop(v).trips
+            per_arr[arr.name] = max(arr.itemsize, bytes_)
+        total = sum(per_arr.values())
+
+        # Tiling: block tile_var's extent by successive factors of 2
+        # until tileable arrays fit.
+        factor = 1
+        tiled = total
+        if tile_var is not None:
+            trips = nest.loop(tile_var).trips
+            while tiled > self.budget and factor < trips:
+                factor *= 2
+                tiled = 0
+                for arr in nest.arrays():
+                    accs = [a for a in nest.accesses if a.array.name == arr.name]
+                    b = per_arr[arr.name]
+                    if any(a.uses_loop(tile_var) for a in accs):
+                        b = max(arr.itemsize, b // factor)
+                    tiled += b
+
+        # Residency: arrays whose per-iteration bytes do not depend on
+        # any non-parallel loop other than the tile var — the same tile
+        # is needed by consecutive iterations, so keep it in LDM.
+        resident = []
+        other_inner = [l.var for l in inner if l.var != tile_var]
+        for arr in nest.arrays():
+            accs = [a for a in nest.accesses if a.array.name == arr.name]
+            reused = any(
+                not any(a.uses_loop(v) for a in accs) for v in other_inner
+            ) if other_inner else False
+            if reused:
+                resident.append(arr.name)
+        return FootprintReport(
+            nest=nest.name,
+            per_iteration_bytes=per_arr,
+            total_bytes=total,
+            tile_factor=factor,
+            tiled_bytes=tiled,
+            resident=tuple(resident),
+        )

@@ -1,0 +1,170 @@
+"""A miniature Fortran loop-nest frontend for the refactoring tools.
+
+The paper's translators are source-to-source: they read the CAM
+Fortran, restructure loops, and emit annotated code.  This module
+closes that loop for the reproduction: it parses a small Fortran-like
+subset (DO nests over declared arrays) into the IR of
+:mod:`repro.core.ir`, so the loop-transformation and footprint tools
+can run against *source text*, and the generators in
+:mod:`repro.core.codegen` emit the two target dialects.
+
+Accepted subset (enough for the dycore kernels)::
+
+    real(8) :: qdp(nelem, qsize, nlev, npts)
+    real(8) :: vstar(nelem, nlev, npts)
+    do ie = 1, nelem
+      do q = 1, qsize          ! dependence-free
+      do k = 1, nlev           ! scan              <- dependence marker
+        qdp(ie, q, k, :) = vstar(ie, k, :) * qdp(ie, q, k, :)
+      end do
+    end do
+
+- ``real(8) :: name(dim, ...)`` declares arrays (dims are integers or
+  names bound via ``parameter`` lines);
+- ``integer, parameter :: nlev = 128`` binds extents;
+- ``do var = 1, extent`` opens a loop; a trailing ``! scan`` (or
+  ``! dependence``) comment marks a loop-carried recurrence;
+- assignment statements define the accesses: every ``name(idx, ...)``
+  reference becomes an :class:`~repro.core.ir.Access`, the left-hand
+  side a write.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import TranslationError
+from .ir import Access, Array, Loop, LoopNest
+
+_PARAM_RE = re.compile(
+    r"^\s*integer\s*,\s*parameter\s*::\s*(\w+)\s*=\s*(\d+)\s*$", re.I
+)
+_DECL_RE = re.compile(r"^\s*real\s*\(\s*8\s*\)\s*::\s*(\w+)\s*\(([^)]*)\)\s*$", re.I)
+_DO_RE = re.compile(r"^\s*do\s+(\w+)\s*=\s*1\s*,\s*(\w+|\d+)\s*(!.*)?$", re.I)
+_END_RE = re.compile(r"^\s*end\s*do\s*$", re.I)
+_REF_RE = re.compile(r"(\w+)\s*\(([^()]*)\)")
+
+
+@dataclass
+class ParsedKernel:
+    """The parse result: a LoopNest plus source bookkeeping."""
+
+    nest: LoopNest
+    parameters: dict[str, int] = field(default_factory=dict)
+    source_lines: int = 0
+
+
+def parse_fortran_kernel(
+    source: str, name: str = "kernel", flops_per_iter: float = 10.0
+) -> ParsedKernel:
+    """Parse the Fortran-like subset into a :class:`LoopNest`."""
+    params: dict[str, int] = {}
+    arrays: dict[str, Array] = {}
+    loops: list[Loop] = []
+    open_loops: list[Loop] = []
+    accesses: list[Access] = []
+    n_lines = 0
+
+    def extent(tok: str) -> int:
+        tok = tok.strip()
+        if tok.isdigit():
+            return int(tok)
+        if tok in params:
+            return params[tok]
+        raise TranslationError(f"{name}: unknown extent {tok!r}")
+
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        n_lines += 1
+        m = _PARAM_RE.match(line)
+        if m:
+            params[m.group(1)] = int(m.group(2))
+            continue
+        m = _DECL_RE.match(line)
+        if m:
+            dims = tuple(extent(d) for d in m.group(2).split(","))
+            arrays[m.group(1)] = Array(m.group(1), dims)
+            continue
+        m = _DO_RE.match(line)
+        if m:
+            var, ext, comment = m.group(1), m.group(2), m.group(3) or ""
+            dep = bool(re.search(r"scan|dependence|recurrence", comment, re.I))
+            loop = Loop(var, extent(ext), carries_dependence=dep)
+            loops.append(loop)
+            open_loops.append(loop)
+            continue
+        if _END_RE.match(line):
+            if not open_loops:
+                raise TranslationError(f"{name}: unbalanced 'end do'")
+            open_loops.pop()
+            continue
+        # Assignment statement: extract references.
+        if "=" in line:
+            lhs, rhs = line.split("=", 1)
+            loop_vars = {l.var for l in loops}
+            for side, is_write in ((lhs, True), (rhs, False)):
+                for ref in _REF_RE.finditer(side):
+                    arr_name, idx = ref.group(1), ref.group(2)
+                    if arr_name not in arrays:
+                        continue  # intrinsic or scalar function
+                    index_map = tuple(
+                        tok.strip() if tok.strip() in loop_vars else None
+                        for tok in idx.split(",")
+                    )
+                    accesses.append(
+                        Access(arrays[arr_name], index_map, is_write=is_write)
+                    )
+            continue
+        raise TranslationError(f"{name}: cannot parse line {line!r}")
+
+    if open_loops:
+        raise TranslationError(f"{name}: {len(open_loops)} unterminated DO loops")
+    if not loops:
+        raise TranslationError(f"{name}: no loops found")
+    # Deduplicate identical accesses (same array, map, mode).
+    seen = set()
+    unique = []
+    for a in accesses:
+        key = (a.array.name, a.index_map, a.is_write)
+        if key not in seen:
+            seen.add(key)
+            unique.append(a)
+    nest = LoopNest(name=name, loops=loops, accesses=unique, flops_per_iter=flops_per_iter)
+    return ParsedKernel(nest=nest, parameters=params, source_lines=n_lines)
+
+
+#: The paper's Algorithm-1 kernel, in the accepted subset.
+EULER_STEP_FORTRAN = """
+integer, parameter :: nelem = 64
+integer, parameter :: qsize = 25
+integer, parameter :: nlev = 128
+integer, parameter :: npts = 16
+real(8) :: qdp(nelem, qsize, nlev, npts)
+real(8) :: derived_dp(nelem, nlev, npts)
+real(8) :: vstar(nelem, nlev, npts)
+real(8) :: qdp_out(nelem, qsize, nlev, npts)
+do ie = 1, nelem
+do q = 1, qsize
+do k = 1, nlev
+qdp_out(ie, q, k, :) = qdp(ie, q, k, :) * vstar(ie, k, :) + derived_dp(ie, k, :)
+end do
+end do
+end do
+"""
+
+#: The pressure scan with its dependence marker.
+PRESSURE_SCAN_FORTRAN = """
+integer, parameter :: nelem = 64
+integer, parameter :: nlev = 128
+integer, parameter :: npts = 16
+real(8) :: dp3d(nelem, nlev, npts)
+real(8) :: p_mid(nelem, nlev, npts)
+do ie = 1, nelem
+do k = 1, nlev   ! scan: p(k) = p(k-1) + dp(k)
+p_mid(ie, k, :) = p_mid(ie, k, :) + dp3d(ie, k, :)
+end do
+end do
+"""

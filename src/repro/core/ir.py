@@ -1,0 +1,186 @@
+"""A small loop-nest IR for the refactoring tools.
+
+Models what the paper's source-to-source translators see in the CAM
+Fortran: nested loops over named iteration spaces (elements, tracers,
+levels, GLL points), arrays with per-dimension extents, and accesses
+that map loop indices to array dimensions.  Dependences are declared
+per loop ("this loop carries a recurrence"), which is how the tools
+know the vertical level loop of the pressure scan cannot be freely
+parallelized while the element loop can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TranslationError
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named array with dimension extents (in elements) and dtype size."""
+
+    name: str
+    dims: tuple[int, ...]
+    itemsize: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise TranslationError(f"array {self.name}: invalid dims {self.dims}")
+
+    @property
+    def nbytes(self) -> int:
+        n = self.itemsize
+        for d in self.dims:
+            n *= d
+        return n
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access inside a loop body.
+
+    ``index_map`` names the loop variable indexing each array dimension
+    (None for a dimension accessed wholesale within one iteration).
+    ``is_write`` marks stores.
+    """
+
+    array: Array
+    index_map: tuple[str | None, ...]
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.index_map) != len(self.array.dims):
+            raise TranslationError(
+                f"access to {self.array.name}: {len(self.index_map)} indices "
+                f"for {len(self.array.dims)} dims"
+            )
+
+    def uses_loop(self, var: str) -> bool:
+        """Whether this access is indexed by loop variable ``var``."""
+        return var in self.index_map
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level: a variable, a trip count, and dependence flags.
+
+    ``carries_dependence`` marks a loop whose iterations form a
+    recurrence (the vertical scan); ``reduction`` marks loops whose
+    iterations combine associatively (parallelizable with care).
+    """
+
+    var: str
+    trips: int
+    carries_dependence: bool = False
+    reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trips < 1:
+            raise TranslationError(f"loop {self.var}: trips must be >= 1")
+
+
+@dataclass
+class LoopNest:
+    """A kernel loop nest: ordered loops (outermost first) + accesses.
+
+    ``flops_per_iter`` is the arithmetic in the innermost body, used by
+    the roofline projection.
+    """
+
+    name: str
+    loops: list[Loop]
+    accesses: list[Access]
+    flops_per_iter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise TranslationError(f"nest {self.name}: needs at least one loop")
+        seen = set()
+        for l in self.loops:
+            if l.var in seen:
+                raise TranslationError(f"nest {self.name}: duplicate loop var {l.var}")
+            seen.add(l.var)
+        for a in self.accesses:
+            for v in a.index_map:
+                if v is not None and v not in seen:
+                    raise TranslationError(
+                        f"nest {self.name}: access to {a.array.name} uses "
+                        f"unknown loop var {v!r}"
+                    )
+
+    def loop(self, var: str) -> Loop:
+        """The loop with variable ``var``."""
+        for l in self.loops:
+            if l.var == var:
+                return l
+        raise TranslationError(f"nest {self.name}: no loop {var!r}")
+
+    @property
+    def total_trips(self) -> int:
+        n = 1
+        for l in self.loops:
+            n *= l.trips
+        return n
+
+    @property
+    def total_flops(self) -> float:
+        return self.total_trips * self.flops_per_iter
+
+    def arrays(self) -> list[Array]:
+        """Unique arrays referenced (stable order)."""
+        seen: dict[str, Array] = {}
+        for a in self.accesses:
+            seen.setdefault(a.array.name, a.array)
+        return list(seen.values())
+
+
+def euler_step_nest(nelem: int = 64, qsize: int = 25, nlev: int = 128, np_: int = 4) -> LoopNest:
+    """The paper's Algorithm-1 loop nest (euler_step), as IR.
+
+    Loops: ie (elements) x q (tracers) x k (levels) x ij (GLL points);
+    qdp is indexed by (q, k); the derived arrays only by k — which is
+    exactly the reuse the OpenACC collapse destroys.
+    """
+    qdp = Array("qdp", (nelem, qsize, nlev, np_ * np_))
+    derived_dp = Array("derived_dp", (nelem, nlev, np_ * np_))
+    vstar = Array("vstar", (nelem, nlev, np_ * np_, 2))
+    out = Array("qdp_out", (nelem, qsize, nlev, np_ * np_))
+    return LoopNest(
+        name="euler_step",
+        loops=[
+            Loop("ie", nelem),
+            Loop("q", qsize),
+            Loop("k", nlev),
+            Loop("ij", np_ * np_),
+        ],
+        accesses=[
+            Access(qdp, ("ie", "q", "k", "ij")),
+            Access(derived_dp, ("ie", "k", "ij")),
+            Access(vstar, ("ie", "k", "ij", None)),
+            Access(out, ("ie", "q", "k", "ij"), is_write=True),
+        ],
+        flops_per_iter=40.0,
+    )
+
+
+def pressure_scan_nest(nelem: int = 64, nlev: int = 128, np_: int = 4) -> LoopNest:
+    """The compute_and_apply_rhs vertical scan, as IR.
+
+    The level loop carries the recurrence p_k = p_{k-1} + dp_k.
+    """
+    dp = Array("dp3d", (nelem, nlev, np_ * np_))
+    p = Array("p_mid", (nelem, nlev, np_ * np_))
+    return LoopNest(
+        name="pressure_scan",
+        loops=[
+            Loop("ie", nelem),
+            Loop("k", nlev, carries_dependence=True),
+            Loop("ij", np_ * np_),
+        ],
+        accesses=[
+            Access(dp, ("ie", "k", "ij")),
+            Access(p, ("ie", "k", "ij"), is_write=True),
+        ],
+        flops_per_iter=2.0,
+    )

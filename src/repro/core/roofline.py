@@ -1,0 +1,84 @@
+"""Bandwidth-bound performance projection (paper Section 3/7.1).
+
+"Combining the OpenACC-refactored code with the projected performance
+upper bound based on the memory capacities (assuming bandwidth as the
+major constraint), we then derive a more aggressive fine-grained
+optimization workflow" — i.e. the roofline model decided which kernels
+justified the Athread rewrite.  This module is that projector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sunway.spec import SW26010Spec, DEFAULT_SPEC
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the CG roofline."""
+
+    name: str
+    arithmetic_intensity: float   # flops per byte of compulsory traffic
+    time_bound: float             # seconds, lower bound
+    bound: str                    # "memory" or "compute"
+    attainable_flops: float       # flop/s at this intensity
+
+
+def roofline_time(
+    flops: float,
+    unique_bytes: float,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    vector_efficiency: float = 1.0,
+) -> RooflinePoint:
+    """Lower-bound execution time of a kernel on one core group.
+
+    ``max(flops / peak, bytes / bandwidth)`` with the CG's share of the
+    memory channel — the paper's "assuming bandwidth as the major
+    constraint" projection.
+    """
+    if flops <= 0 or unique_bytes <= 0:
+        raise ValueError("flops and unique_bytes must be positive")
+    peak = spec.cg_peak_flops * vector_efficiency
+    t_compute = flops / peak
+    t_memory = unique_bytes / spec.cg_memory_bandwidth
+    ai = flops / unique_bytes
+    if t_memory >= t_compute:
+        return RooflinePoint("", ai, t_memory, "memory", flops / t_memory)
+    return RooflinePoint("", ai, t_compute, "compute", peak)
+
+
+def ridge_intensity(spec: SW26010Spec = DEFAULT_SPEC, vector_efficiency: float = 1.0) -> float:
+    """Arithmetic intensity where compute and memory bounds cross.
+
+    For the SW26010 CG: 742 GF/s / 33 GB/s = 22.5 flops/byte at full
+    vector efficiency — brutally high, which is why the paper's whole
+    strategy is traffic minimization.
+    """
+    return spec.cg_peak_flops * vector_efficiency / spec.cg_memory_bandwidth
+
+
+def projected_upper_bound(
+    flops: float,
+    unique_bytes: float,
+    measured_openacc_seconds: float,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    vector_efficiency: float = 0.35,
+) -> dict:
+    """The redesign decision record for one kernel.
+
+    Compares the measured directive-port time against the bandwidth-
+    bound projection; the ``headroom`` ratio is what the paper used to
+    pick Athread-rewrite targets (a kernel already at its projection
+    cannot be improved by rewriting; one 10x above it can).
+    """
+    point = roofline_time(flops, unique_bytes, spec, vector_efficiency)
+    headroom = measured_openacc_seconds / point.time_bound
+    return {
+        "projection_seconds": point.time_bound,
+        "bound": point.bound,
+        "arithmetic_intensity": point.arithmetic_intensity,
+        "measured_seconds": measured_openacc_seconds,
+        "headroom": headroom,
+        "rewrite_recommended": headroom > 2.0,
+    }

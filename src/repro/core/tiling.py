@@ -1,0 +1,84 @@
+"""LDM tiling plans, validated against the scratchpad allocator.
+
+Turns a footprint report into a concrete allocation plan — which
+buffers live in the 64 KB LDM, double-buffered where streaming — and
+*proves* the plan by allocating it on a real
+:class:`~repro.sunway.ldm.LDM` instance.  A plan that does not allocate
+cleanly is a plan that cannot be written on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LDMOverflowError
+from ..sunway.ldm import LDM
+from .footprint import FootprintReport
+
+
+@dataclass
+class TilingPlan:
+    """A concrete LDM layout for one kernel.
+
+    ``buffers`` maps name -> bytes; streamed buffers appear twice
+    (ping/pong) for double buffering.
+    """
+
+    nest: str
+    buffers: dict[str, int]
+    double_buffered: tuple[str, ...]
+    total_bytes: int
+
+    def allocate_on(self, ldm: LDM) -> None:
+        """Allocate every buffer; raises LDMOverflowError on misfit."""
+        for name, size in self.buffers.items():
+            ldm.alloc(size, label=name)
+
+
+class TilingPlanner:
+    """Builds and validates tiling plans from footprint reports."""
+
+    def __init__(self, ldm_bytes: int = 64 * 1024, reserve: int = 4 * 1024) -> None:
+        self.ldm_bytes = ldm_bytes
+        self.reserve = reserve
+
+    def plan(
+        self,
+        report: FootprintReport,
+        stream: tuple[str, ...] = (),
+    ) -> TilingPlan:
+        """Build a plan from a (tiled) footprint.
+
+        ``stream`` names arrays accessed once per tile and therefore
+        worth double buffering (two copies in LDM so the DMA of tile
+        n+1 overlaps compute on tile n).
+        """
+        buffers: dict[str, int] = {}
+        factor = report.tile_factor
+        for name, nbytes in report.per_iteration_bytes.items():
+            size = max(32, nbytes // factor if name not in report.resident else nbytes // factor)
+            if name in stream:
+                buffers[f"{name}.ping"] = size
+                buffers[f"{name}.pong"] = size
+            else:
+                buffers[name] = size
+        total = sum(buffers.values())
+        return TilingPlan(
+            nest=report.nest,
+            buffers=buffers,
+            double_buffered=tuple(stream),
+            total_bytes=total,
+        )
+
+    def validate(self, plan: TilingPlan) -> LDM:
+        """Allocate the plan on a fresh LDM; returns it for inspection."""
+        ldm = LDM(self.ldm_bytes - self.reserve)
+        plan.allocate_on(ldm)
+        return ldm
+
+    def plan_and_validate(
+        self, report: FootprintReport, stream: tuple[str, ...] = ()
+    ) -> tuple[TilingPlan, LDM]:
+        """Plan then prove it allocates; raises LDMOverflowError if not."""
+        plan = self.plan(report, stream)
+        return plan, self.validate(plan)

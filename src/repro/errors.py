@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LDMOverflowError(ReproError):
+    """Raised when an allocation does not fit in a CPE's 64 KB scratchpad."""
+
+    def __init__(self, requested: int, available: int, label: str = "") -> None:
+        self.requested = requested
+        self.available = available
+        self.label = label
+        super().__init__(
+            f"LDM overflow{f' for {label}' if label else ''}: "
+            f"requested {requested} B, only {available} B free"
+        )
+
+
+class LDMAllocationError(ReproError):
+    """Raised on invalid scratchpad free/read (double free, unknown handle)."""
+
+
+class RegCommError(ReproError):
+    """Raised on invalid register-communication usage (off-mesh target,
+    non-row/column destination, payload size mismatch)."""
+
+
+class DMAError(ReproError):
+    """Raised on malformed DMA descriptors (negative size, bad stride)."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid network topology queries (unknown node id)."""
+
+
+class SimMPIError(ReproError):
+    """Raised on simulated-MPI protocol misuse (wait on completed request,
+    mismatched message sizes, unknown rank)."""
+
+
+class MeshError(ReproError):
+    """Raised for invalid mesh construction or connectivity queries."""
+
+
+class PartitionError(ReproError):
+    """Raised when a domain decomposition request is infeasible
+    (more ranks than elements, empty rank)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for inconsistent model/run configurations."""
+
+
+class KernelError(ReproError):
+    """Raised when a kernel is invoked with inconsistent state shapes."""
+
+
+class TranslationError(ReproError):
+    """Raised by the source-to-source loop translator on untransformable IR."""
+
+
+class FootprintError(ReproError):
+    """Raised by the memory-footprint analyzer on unresolvable access sets."""
+
+
+class BaselineError(ReproError):
+    """Raised by the FV3/MPAS baseline models on unsupported configurations."""

@@ -1,0 +1,40 @@
+"""Experiment drivers: one per paper table/figure.
+
+Each driver regenerates its artifact's rows/series from the library,
+prints them next to the paper's values, and returns a
+:class:`~repro.perf.report.ComparisonTable` whose shape criteria the
+benchmark harness asserts:
+
+========  =========================================================
+driver    paper artifact
+========  =========================================================
+table1    Table 1 — kernel timings on Intel / MPE / OpenACC (+Athread)
+figure5   Figure 5 — kernel speedups over platforms
+figure6   Figure 6 — whole-CAM SYPD, ne30 and ne120 process sweeps
+figure7   Figure 7 — HOMME strong scaling (ne256, ne1024)
+figure8   Figure 8 — weak scaling (48/192/650/768 elements/process)
+table3    Table 3 — NGGPS comparison vs FV3 and MPAS
+figure4   Figure 4 — two-platform climatology validation
+figure9   Figure 9 — Hurricane Katrina track and intensity
+========  =========================================================
+"""
+
+from .table1_kernels import run_table1
+from .figure5_speedups import run_figure5
+from .figure6_sypd import run_figure6
+from .figure7_strong import run_figure7
+from .figure8_weak import run_figure8
+from .table3_nggps import run_table3
+from .figure4_validation import run_figure4
+from .figure9_katrina import run_figure9
+
+__all__ = [
+    "run_table1",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_table3",
+    "run_figure4",
+    "run_figure9",
+]

@@ -1,0 +1,56 @@
+"""Figure 5: per-kernel speedups over platforms (Intel reference).
+
+The paper plots, per kernel, the speedup of MPE / OpenACC / Athread
+relative to one Intel process.  The quantitative claims checked here:
+
+- one MPE is 2-10x *slower* than one Intel core;
+- OpenACC improves on the MPE by 3-22x, landing near one Intel core;
+- Athread improves on OpenACC by up to 50x;
+- a full CG under Athread is worth 7-46 Intel cores.
+"""
+
+from __future__ import annotations
+
+from ..backends import ALL_BACKENDS, table1_workloads
+from ..perf.report import ComparisonTable
+from ..utils.tables import render_table
+
+
+def run_figure5(verbose: bool = True) -> ComparisonTable:
+    """Regenerate Figure 5's speedup bars; check the claim bands."""
+    wls = table1_workloads()
+    backends = {name: cls() for name, cls in ALL_BACKENDS.items()}
+    table = ComparisonTable("figure5")
+    rows = []
+    mpe_slowdowns, acc_over_mpe, ath_over_acc, ath_over_intel = [], [], [], []
+    for kernel, wl in wls.items():
+        t = {b: backends[b].execute(wl).seconds for b in backends}
+        mpe_slowdowns.append(t["mpe"] / t["intel"])
+        acc_over_mpe.append(t["mpe"] / t["openacc"])
+        ath_over_acc.append(t["openacc"] / t["athread"])
+        ath_over_intel.append(t["intel"] / t["athread"])
+        rows.append(
+            [kernel,
+             f"{t['intel'] / t['mpe']:.2f}x",
+             f"{t['intel'] / t['openacc']:.2f}x",
+             f"{t['intel'] / t['athread']:.1f}x"]
+        )
+    # Claim bands from Section 8.3 (midpoints as the "paper value").
+    table.add("MPE slowdown max (2-10x)", 10.0, max(mpe_slowdowns), "<= 12", 0.2)
+    table.add("OpenACC over MPE max (3-22x)", 22.0, max(acc_over_mpe), "band", 0.5)
+    table.add("Athread over OpenACC max (up to 50x)", 50.0, max(ath_over_acc), "band", 0.2)
+    table.add("Athread vs Intel min (7x)", 7.0, min(ath_over_intel), ">= 7", 0.35)
+    table.add("Athread vs Intel max (46x)", 46.0, max(ath_over_intel), "<= 46", 0.35)
+    if verbose:
+        print(render_table(
+            ["kernel", "MPE/Intel", "Acc/Intel", "Athread/Intel"],
+            rows,
+            title="Figure 5 (speedup relative to one Intel core)",
+        ))
+        print()
+        print(table.render())
+    return table
+
+
+if __name__ == "__main__":
+    run_figure5()

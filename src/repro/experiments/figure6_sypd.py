@@ -1,0 +1,69 @@
+"""Figure 6: whole-CAM simulation speed (SYPD) for ne30 and ne120.
+
+Left panel: ne30 at 216-5400 processes for the original (MPE), OpenACC,
+and Athread versions; right panel: ne120 (OpenACC) at 2,400-28,800.
+Checked anchors: 21.5 SYPD (ne30, Athread, 5400 procs), 3.4 SYPD
+(ne120, OpenACC, 28,800), and the whole-model speedup bands (OpenACC
+1.4-1.5x over original; Athread a further 1.1-1.4x).
+"""
+
+from __future__ import annotations
+
+from ..perf.scaling import CAMPerfModel
+from ..perf.report import ComparisonTable
+from ..utils.tables import render_table
+
+NE30_PROCS = (216, 600, 900, 1350, 5400)
+NE120_PROCS = (2400, 9600, 14400, 21600, 28800)
+
+
+def run_figure6(verbose: bool = True) -> ComparisonTable:
+    """Regenerate both Figure 6 panels; check anchors and ratio bands."""
+    table = ComparisonTable("figure6")
+    rows30 = []
+    for nproc in NE30_PROCS:
+        v = {
+            b: CAMPerfModel(30, nproc, backend=b).sypd()
+            for b in ("mpe", "openacc", "athread")
+        }
+        rows30.append(
+            [nproc, f"{v['mpe']:.2f}", f"{v['openacc']:.2f}", f"{v['athread']:.2f}",
+             f"{v['openacc'] / v['mpe']:.2f}", f"{v['athread'] / v['openacc']:.2f}"]
+        )
+        table.add(
+            f"ne30 acc/ori ratio @{nproc}", 1.45, v["openacc"] / v["mpe"],
+            "in [1.4, 1.5] band", 0.08,
+        )
+        table.add(
+            f"ne30 ath/acc ratio @{nproc}", 1.25, v["athread"] / v["openacc"],
+            "in [1.1, 1.4] band", 0.12,
+        )
+    v5400 = CAMPerfModel(30, 5400, backend="athread").sypd()
+    table.add("ne30 athread SYPD @5400", 21.5, v5400, "headline anchor", 0.15)
+
+    rows120 = []
+    for nproc in NE120_PROCS:
+        s = CAMPerfModel(120, nproc, backend="openacc").sypd()
+        rows120.append([nproc, f"{s:.2f}"])
+    table.add(
+        "ne120 openacc SYPD @28800",
+        3.4,
+        CAMPerfModel(120, 28800, backend="openacc").sypd(),
+        "headline anchor",
+        0.15,
+    )
+    if verbose:
+        print(render_table(
+            ["nproc", "ori", "openacc", "athread", "acc/ori", "ath/acc"],
+            rows30, title="Figure 6 left: ne30 SYPD",
+        ))
+        print()
+        print(render_table(["nproc", "SYPD"], rows120,
+                           title="Figure 6 right: ne120 SYPD (OpenACC)"))
+        print()
+        print(table.render())
+    return table
+
+
+if __name__ == "__main__":
+    run_figure6()

@@ -1,0 +1,81 @@
+"""Figure 7: HOMME strong scaling at ne256 and ne1024.
+
+The paper scales ne256 from 4,096 to 131,072 processes (0.07 -> 0.64
+PFlops, 21.73% parallel efficiency at the end) and ne1024 from 8,192
+(memory-limited start) to 131,072 (0.18 -> 1.76 PFlops, ~51%).  Checks:
+
+- both endpoint PFlops within 50%;
+- final efficiencies in the right bands, ne1024 scaling better;
+- ne1024 below 8,192 processes refuses to fit in node memory.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..perf.scaling import HommePerfModel
+from ..perf.report import ComparisonTable
+from ..utils.tables import render_table
+
+NE256_PROCS = (4096, 8192, 16384, 32768, 65536, 131072)
+NE1024_PROCS = (8192, 16384, 32768, 65536, 131072)
+
+PAPER = {
+    ("ne256", 4096): 0.07,
+    ("ne256", 131072): 0.64,
+    ("ne1024", 8192): 0.18,
+    ("ne1024", 131072): 1.76,
+}
+
+
+def run_figure7(verbose: bool = True) -> ComparisonTable:
+    """Regenerate the strong-scaling curves; check anchors and shape."""
+    table = ComparisonTable("figure7")
+    rows = []
+    curves: dict[str, list[HommePerfModel]] = {}
+    for label, ne, procs in (("ne256", 256, NE256_PROCS), ("ne1024", 1024, NE1024_PROCS)):
+        models = [HommePerfModel(ne, p) for p in procs]
+        curves[label] = models
+        base = models[0]
+        for m in models:
+            rows.append(
+                [label, m.nproc, m.elems_per_proc, f"{m.pflops:.3f}",
+                 f"{m.parallel_efficiency(base) * 100:.1f}%"]
+            )
+    # Endpoint anchors.
+    for (label, nproc), paper_pf in PAPER.items():
+        models = curves[label]
+        m = next(x for x in models if x.nproc == nproc)
+        table.add(f"{label} PFlops @{nproc}", paper_pf, m.pflops, "endpoint", 0.5)
+    # Final efficiencies.
+    eff256 = curves["ne256"][-1].parallel_efficiency(curves["ne256"][0])
+    eff1024 = curves["ne1024"][-1].parallel_efficiency(curves["ne1024"][0])
+    table.add("ne256 final efficiency", 0.2173, eff256, "band", 0.35)
+    table.add("ne1024 final efficiency", 0.56, eff1024, "band (51-61%)", 0.45)
+    # Structural claims.
+    table.add(
+        "ne1024 scales better than ne256 (eff ratio)",
+        0.56 / 0.2173,
+        eff1024 / eff256,
+        "ordering",
+        0.6,
+    )
+    # Memory gate: ne1024 cannot start at 4,096 processes.
+    try:
+        HommePerfModel(1024, 4096)
+        memory_blocked = 0.0
+    except ConfigurationError:
+        memory_blocked = 1.0
+    table.add("ne1024 @4096 blocked by 32 GB/node", 1.0, memory_blocked, "boolean", 0.0)
+
+    if verbose:
+        print(render_table(
+            ["case", "nproc", "elems/proc", "PFlops", "efficiency"],
+            rows, title="Figure 7: HOMME strong scaling",
+        ))
+        print()
+        print(table.render())
+    return table
+
+
+if __name__ == "__main__":
+    run_figure7()

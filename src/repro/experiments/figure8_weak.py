@@ -1,0 +1,79 @@
+"""Figure 8: weak scaling at fixed elements per process.
+
+Four series (48, 192, 650, 768 elements/process) scaled toward the full
+machine; the paper reports final parallel efficiencies of 88.3%, 92.3%,
+98.5% (650 elements, at 155,000 processes = 10,075,000 cores) and
+92.2%, with the headline 3.3 PFlops at the 650-element full-machine
+point.  Checks: every line's final efficiency above 80%, the 48-element
+line the weakest of the power-of-two trio, and the full-machine
+sustained PFlops within 50% of 3.3.
+"""
+
+from __future__ import annotations
+
+from ..perf.scaling import HommePerfModel
+from ..perf.report import ComparisonTable
+from ..utils.tables import render_table
+
+#: (elements/process, [(ne, nproc), ...]) — exact divisors so every rank
+#: holds the stated element count.
+WEAK_SERIES = {
+    48: [(64, 512), (128, 2048), (256, 8192), (512, 32768), (1024, 131072)],
+    192: [(128, 512), (256, 2048), (512, 8192), (1024, 32768), (2048, 131072)],
+    768: [(256, 512), (512, 2048), (1024, 8192), (2048, 32768), (4096, 131072)],
+}
+
+#: The 650-element full-machine point: ne4096 at 155,000 processes
+#: (100,663,296 / 155,000 = 649.4 elements per process).
+FULL_MACHINE = (4096, 155_000)
+
+PAPER_FINAL_EFF = {48: 0.883, 192: 0.923, 768: 0.922}
+PAPER_FULL_PFLOPS = 3.3
+
+
+def run_figure8(verbose: bool = True) -> ComparisonTable:
+    """Regenerate the weak-scaling series; check efficiency bands."""
+    table = ComparisonTable("figure8")
+    rows = []
+    finals = {}
+    for elems, series in WEAK_SERIES.items():
+        models = [HommePerfModel(ne, p) for ne, p in series]
+        base = models[0]
+        for m in models:
+            rows.append(
+                [f"{elems}/proc", m.nproc, f"{m.pflops:.4f}",
+                 f"{m.parallel_efficiency(base) * 100:.1f}%"]
+            )
+        finals[elems] = models[-1].parallel_efficiency(base)
+        table.add(
+            f"{elems} elems/proc final efficiency",
+            PAPER_FINAL_EFF[elems],
+            finals[elems],
+            "weak efficiency band",
+            0.12,
+        )
+    # 48-element line is the weakest (surface-to-volume ordering).
+    ordered = finals[48] <= finals[192] + 1e-9 and finals[48] <= finals[768] + 1e-9
+    table.add("48-line weakest", 1.0, 1.0 if ordered else 0.0, "ordering", 0.0)
+
+    full = HommePerfModel(*FULL_MACHINE)
+    rows.append(["650/proc", full.nproc, f"{full.pflops:.3f}", "(full machine)"])
+    table.add(
+        "full-machine sustained PFlops (10,075,000 cores)",
+        PAPER_FULL_PFLOPS,
+        full.pflops,
+        "headline",
+        0.5,
+    )
+    if verbose:
+        print(render_table(
+            ["series", "nproc", "PFlops", "efficiency"],
+            rows, title="Figure 8: weak scaling",
+        ))
+        print()
+        print(table.render())
+    return table
+
+
+if __name__ == "__main__":
+    run_figure8()

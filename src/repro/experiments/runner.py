@@ -1,0 +1,62 @@
+"""CLI: run any or all experiment drivers.
+
+Usage::
+
+    python -m repro.experiments.runner table1 figure7
+    python -m repro.experiments.runner --all
+    python -m repro.experiments.runner --all --quick   # shorten sims
+
+Exit status is nonzero if any shape check fails, so the runner can
+gate CI.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table1,
+    run_table3,
+)
+
+DRIVERS = {
+    "table1": lambda quick: run_table1(),
+    "figure5": lambda quick: run_figure5(),
+    "figure6": lambda quick: run_figure6(),
+    "figure7": lambda quick: run_figure7(),
+    "figure8": lambda quick: run_figure8(),
+    "table3": lambda quick: run_table3(),
+    "figure4": lambda quick: run_figure4(
+        spinup_days=0.5 if quick else 2.0, mean_days=1.0 if quick else 6.0
+    ),
+    "figure9": lambda quick: run_figure9(hours=2.0 if quick else 4.0),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    args = [a for a in args if not a.startswith("--")]
+    if "--all" in (sys.argv[1:] if argv is None else argv) or not args:
+        args = list(DRIVERS)
+    unknown = [a for a in args if a not in DRIVERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(DRIVERS)}")
+        return 2
+    ok = True
+    for name in args:
+        print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}")
+        table = DRIVERS[name](quick)
+        ok = ok and table.all_passed
+    print(f"\noverall: {'ALL SHAPE CHECKS PASS' if ok else 'SOME CHECKS FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

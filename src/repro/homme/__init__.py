@@ -1,0 +1,28 @@
+"""The HOMME / CAM-SE spectral-element dynamical core.
+
+Real numerics for every kernel in the paper's Table 1:
+
+- :mod:`~repro.homme.rhs` — ``compute_and_apply_rhs``: one Runge--Kutta
+  stage of the hydrostatic primitive equations on floating Lagrangian
+  levels (vector-invariant momentum, layer continuity, thermodynamic
+  equation), including the vertical pressure scan the register-
+  communication scheme parallelizes;
+- :mod:`~repro.homme.euler` — ``euler_step``: SSP-RK2 tracer advection
+  with a monotone limiter, subcycled 3x per dynamics step;
+- :mod:`~repro.homme.remap` — ``vertical_remap``: conservative monotone
+  PPM remap back to reference hybrid levels;
+- :mod:`~repro.homme.hypervis` — ``hypervis_dp1/dp2`` and
+  ``biharmonic_dp3d``: scalar/vector hyperviscosity via repeated weak
+  Laplacians with DSS;
+- :mod:`~repro.homme.bndry` — ``bndry_exchangev``: the halo exchange in
+  both the classic (pack-buffer, no overlap) and redesigned
+  (inner/boundary split, overlap, direct unpack) forms;
+- :mod:`~repro.homme.timestep` — ``prim_run``: the full dynamics loop;
+- :mod:`~repro.homme.shallow_water` — a shallow-water mode used to
+  verify the spectral operators against analytic solutions.
+"""
+
+from .element import ElementGeometry, ElementState
+from .timestep import PrimitiveEquationModel
+
+__all__ = ["ElementGeometry", "ElementState", "PrimitiveEquationModel"]

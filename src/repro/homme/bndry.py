@@ -1,0 +1,243 @@
+"""``bndry_exchangev``: the halo exchange behind the distributed DSS.
+
+The paper redesigns this subroutine twice over (Section 7.6):
+
+1. **Computation/communication overlap** — elements are split into a
+   *boundary* part (touching another rank) and an *inner* part; the
+   boundary part is computed first, its edge data sent asynchronously,
+   and the inner part computed while messages fly.  This cut HOMME's
+   runtime by up to 23% at scale.
+2. **Direct unpack** — the original HOMME funnels both MPI messages and
+   intra-node copies through a unified pack/unpack buffer, costing a
+   redundant memcpy per exchange; the redesign fetches received data
+   straight into the destination elements (another ~30% off the
+   dynamical core's memory-copy time).
+
+:class:`HaloExchanger` implements the exchange functionally (weighted
+DSS contributions really travel between ranks through
+:class:`~repro.network.simmpi.SimMPI`) with both the ``classic`` and
+``overlap`` execution disciplines, charging pack/unpack memcpy time and
+compute time to each rank's simulated clock.  The distributed result is
+bit-identical to the serial :meth:`CubedSphereMesh.dss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import constants as C
+from ..errors import KernelError
+from ..mesh.cubed_sphere import CubedSphereMesh
+from ..mesh.partition import SFCPartition
+from ..network.simmpi import SimMPI
+
+#: Memory-copy bandwidth for pack/unpack staging [bytes/s] (one CG's share).
+MEMCPY_BANDWIDTH = C.SW_MEMORY_BANDWIDTH / C.SW_CORE_GROUPS
+
+
+@dataclass
+class ExchangeReport:
+    """Timing summary of one exchange (simulated seconds)."""
+
+    mode: str
+    rank_times: list[float] = field(default_factory=list)
+    comm_wait: list[float] = field(default_factory=list)
+    memcpy_seconds: float = 0.0
+
+    @property
+    def max_time(self) -> float:
+        return max(self.rank_times) if self.rank_times else 0.0
+
+
+class HaloExchanger:
+    """Distributed DSS over an SFC partition.
+
+    Precomputes, per rank pair, the shared global DOF ids in a canonical
+    (sorted) order, plus the local flat indices contributing to them, so
+    an exchange is pure vectorized gather/scatter.
+    """
+
+    def __init__(self, mesh: CubedSphereMesh, part: SFCPartition) -> None:
+        if part.ne != mesh.ne:
+            raise KernelError("partition and mesh resolutions differ")
+        self.mesh = mesh
+        self.part = part
+        self.nranks = part.nranks
+        n = mesh.np
+
+        #: Per rank: owned element ids (curve order) and their gid block.
+        self.rank_elems = [part.rank_elements(r) for r in range(self.nranks)]
+        self.rank_gids = [mesh.gid[e] for e in self.rank_elems]
+
+        # gid -> set of touching ranks.
+        gid_ranks: dict[int, set[int]] = {}
+        for r in range(self.nranks):
+            for g in np.unique(self.rank_gids[r]):
+                gid_ranks.setdefault(int(g), set()).add(r)
+
+        # Shared gid lists per ordered rank pair.
+        shared: dict[tuple[int, int], list[int]] = {}
+        for g, ranks in gid_ranks.items():
+            if len(ranks) > 1:
+                rl = sorted(ranks)
+                for a in rl:
+                    for b in rl:
+                        if a != b:
+                            shared.setdefault((a, b), []).append(g)
+        self.shared_gids = {
+            key: np.array(sorted(gs), dtype=np.int64) for key, gs in shared.items()
+        }
+        self.peers = {
+            r: sorted({b for (a, b) in self.shared_gids if a == r})
+            for r in range(self.nranks)
+        }
+
+        # Local scatter structures: for rank r, flat arrays over local GLL
+        # points of (gid, weight) and, per element, whether it is boundary.
+        self.local_flat_gid = [g.reshape(-1) for g in self.rank_gids]
+        self.local_weights = [
+            mesh.spheremp[e].reshape(-1) for e in self.rank_elems
+        ]
+        self.assembled = mesh.assembled_spheremp
+        self.boundary_elems = [part.boundary_elements(r) for r in range(self.nranks)]
+        self.inner_elems = [part.inner_elements(r) for r in range(self.nranks)]
+        # Mask over local elements (in rank_elems order): boundary or not.
+        self.local_boundary_mask = [
+            part.boundary_mask[e] for e in self.rank_elems
+        ]
+
+    # -- core exchange ------------------------------------------------------------
+
+    def _local_accumulate(self, rank: int, f_flat: np.ndarray) -> dict[int, np.ndarray]:
+        """Weighted contributions acc[gid] for rank's local field values."""
+        gids = self.local_flat_gid[rank]
+        w = self.local_weights[rank]
+        vals = f_flat * w[:, None]
+        # Accumulate into a compact dict keyed by gid.
+        uniq, inv = np.unique(gids, return_inverse=True)
+        acc = np.zeros((len(uniq),) + vals.shape[1:])
+        np.add.at(acc, inv, vals)
+        return {"gids": uniq, "acc": acc}
+
+    def exchange(
+        self,
+        local_fields: list[np.ndarray],
+        mpi: SimMPI,
+        mode: str = "overlap",
+        boundary_compute: list[float] | None = None,
+        inner_compute: list[float] | None = None,
+        tag: int = 0,
+    ) -> tuple[list[np.ndarray], ExchangeReport]:
+        """Run one DSS exchange over all ranks.
+
+        Parameters
+        ----------
+        local_fields:
+            Per rank, array (E_r, np, np) or (E_r, np, np, K) of the
+            element-local field to make continuous.
+        mpi:
+            The simulated communicator (nranks must match).
+        mode:
+            "classic" (compute all, pack-buffer staging, no overlap) or
+            "overlap" (boundary first, direct unpack, inner overlapped).
+        boundary_compute / inner_compute:
+            Per-rank simulated seconds of kernel work attributed to the
+            boundary / inner element sets.  In classic mode their sum is
+            charged before communication; in overlap mode the boundary
+            part is charged before the sends and the inner part between
+            send and wait — which is what hides the transfer.
+
+        Returns the DSS'd local fields and an :class:`ExchangeReport`.
+        """
+        if mpi.nranks != self.nranks:
+            raise KernelError(
+                f"communicator has {mpi.nranks} ranks, partition {self.nranks}"
+            )
+        if mode not in ("classic", "overlap"):
+            raise KernelError(f"unknown exchange mode {mode!r}")
+        if len(local_fields) != self.nranks:
+            raise KernelError("need one local field array per rank")
+        bc = boundary_compute or [0.0] * self.nranks
+        ic = inner_compute or [0.0] * self.nranks
+
+        n = self.mesh.np
+        flats = []
+        for r, f in enumerate(local_fields):
+            f = np.asarray(f, dtype=np.float64)
+            if f.shape[:3] != (len(self.rank_elems[r]), n, n):
+                raise KernelError(f"rank {r} field has shape {f.shape}")
+            k = int(np.prod(f.shape[3:])) if f.ndim > 3 else 1
+            flats.append(f.reshape(-1, k))
+
+        report = ExchangeReport(mode=mode)
+        accs = []
+
+        # Phase 1: compute + pack + send on every rank.
+        sends = []
+        for r in range(self.nranks):
+            if mode == "classic":
+                # All kernel work happens before any communication.
+                mpi.compute(r, bc[r] + ic[r])
+            else:
+                # Boundary elements first; inner is deferred.
+                mpi.compute(r, bc[r])
+            acc = self._local_accumulate(r, flats[r])
+            accs.append(acc)
+            for p in self.peers[r]:
+                sg = self.shared_gids[(r, p)]
+                idx = np.searchsorted(acc["gids"], sg)
+                payload = acc["acc"][idx]
+                # Pack memcpy: classic stages through the pack buffer.
+                pack_copies = 2 if mode == "classic" else 1
+                t_pack = pack_copies * payload.nbytes / MEMCPY_BANDWIDTH
+                mpi.compute(r, t_pack)
+                report.memcpy_seconds += t_pack
+                sends.append(mpi.isend(r, p, payload, tag=tag))
+
+        # Phase 2: overlap window — inner compute happens while in flight.
+        if mode == "overlap":
+            for r in range(self.nranks):
+                mpi.compute(r, ic[r])
+
+        # Phase 3: receive, unpack, finalize.
+        outs: list[np.ndarray] = []
+        for r in range(self.nranks):
+            acc = accs[r]
+            for p in self.peers[r]:
+                sg = self.shared_gids[(r, p)]
+                data = mpi.wait(mpi.irecv(r, p, tag=tag))
+                if data.shape[0] != len(sg):
+                    raise KernelError("halo message length mismatch")
+                idx = np.searchsorted(acc["gids"], sg)
+                acc["acc"][idx] += data
+                # Unpack memcpy: classic copies receive buffer -> pack
+                # buffer -> elements (2 copies); redesign goes direct (1).
+                unpack_copies = 2 if mode == "classic" else 1
+                t_unpack = unpack_copies * data.nbytes / MEMCPY_BANDWIDTH
+                mpi.compute(r, t_unpack)
+                report.memcpy_seconds += t_unpack
+            # Final division by assembled weights at local points.
+            gids = self.local_flat_gid[r]
+            pos = np.searchsorted(acc["gids"], gids)
+            vals = acc["acc"][pos] / self.assembled[gids][:, None]
+            outs.append(vals.reshape(local_fields[r].shape))
+
+        report.rank_times = [mpi.now(r) for r in range(self.nranks)]
+        report.comm_wait = list(mpi.comm_seconds)
+        return outs, report
+
+    # -- helpers for tests/benches --------------------------------------------------
+
+    def scatter(self, field: np.ndarray) -> list[np.ndarray]:
+        """Split a global (nelem, np, np[, K]) field into per-rank locals."""
+        return [field[e] for e in self.rank_elems]
+
+    def gather(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Reassemble per-rank locals into a global element array."""
+        shape = (self.mesh.nelem,) + locals_[0].shape[1:]
+        out = np.empty(shape)
+        for r, e in enumerate(self.rank_elems):
+            out[e] = locals_[r]
+        return out

@@ -1,0 +1,58 @@
+"""Conservation and stability diagnostics for the dynamical core."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as C
+from .element import ElementGeometry, ElementState
+from .rhs import PTOP, compute_pressure, compute_geopotential
+from . import operators as op
+
+
+def total_mass(state: ElementState, geom: ElementGeometry) -> float:
+    """Total dry-air mass integral: sum over levels of dp3d * area / g."""
+    w = geom.spheremp[:, None]
+    return float(np.sum(state.dp3d * w) / C.GRAVITY)
+
+
+def total_tracer_mass(state: ElementState, geom: ElementGeometry) -> np.ndarray:
+    """Per-tracer global mass (Q,)."""
+    w = geom.spheremp[:, None, None]
+    return np.sum(state.qdp * w, axis=(0, 2, 3, 4)) / C.GRAVITY
+
+
+def total_energy(state: ElementState, geom: ElementGeometry) -> float:
+    """Total energy: kinetic + internal (cp T) per unit mass, mass weighted."""
+    ke = op.kinetic_energy(state.v, geom)
+    e = ke + C.CP_DRY * state.T
+    w = geom.spheremp[:, None]
+    return float(np.sum(e * state.dp3d * w) / C.GRAVITY)
+
+
+def max_wind(state: ElementState, geom: ElementGeometry) -> float:
+    """Maximum wind speed [m/s] (from the metric norm of contravariant v)."""
+    speed2 = 2.0 * op.kinetic_energy(state.v, geom)
+    return float(np.sqrt(speed2.max()))
+
+
+def courant_number(state: ElementState, geom: ElementGeometry, dt: float, ne: int) -> float:
+    """Advective CFL estimate: max |v| dt / dx_min."""
+    dx = 2 * np.pi * geom.radius / (4 * ne * (C.NP - 1))
+    return max_wind(state, geom) * dt / dx
+
+
+def surface_pressure_range(state: ElementState) -> tuple[float, float]:
+    """(min, max) surface pressure [Pa] — a quick blow-up detector."""
+    ps = state.ps(PTOP)
+    return float(ps.min()), float(ps.max())
+
+
+def state_is_finite(state: ElementState) -> bool:
+    """All prognostic arrays finite (no NaN/Inf)."""
+    return bool(
+        np.isfinite(state.v).all()
+        and np.isfinite(state.T).all()
+        and np.isfinite(state.dp3d).all()
+        and np.isfinite(state.qdp).all()
+    )

@@ -1,0 +1,156 @@
+"""Spectral-element differential operators on the cubed sphere.
+
+All operators act elementwise on fields shaped ``(E, ..., np, np)``
+(arbitrary middle axes, typically the level axis) using the GLL
+derivative matrix along the two horizontal axes.  Geometry arrays
+(``metdet``, ``metinv``) are shaped ``(E, np, np, ...)`` and broadcast
+across the middle axes automatically.
+
+Conventions: face coordinate alpha varies along the **last** axis (j),
+beta along the second-to-last (i).  Winds are contravariant; covariant
+components are obtained with the metric.  Operators return
+element-local (discontinuous) results — callers apply DSS where the
+continuous projection is required, exactly as HOMME separates
+``*_sphere`` operators from the boundary exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .element import ElementGeometry
+
+
+def _bshape(geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
+    """Broadcast a geometry array against a scalar field.
+
+    ``geom_arr`` is (E, np, np) or (E, np, np, 2, 2); ``scalar_ref`` is a
+    scalar-shaped field (E, ..., np, np).  Middle axes (levels, tracers)
+    are inserted after E so numpy broadcasting lines up.
+    """
+    extra = scalar_ref.ndim - 3
+    if extra <= 0:
+        return geom_arr
+    shape = (geom_arr.shape[0],) + (1,) * extra + geom_arr.shape[1:]
+    return geom_arr.reshape(shape)
+
+
+def d_dalpha(field: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """d(field)/d(alpha): GLL derivative along the last axis."""
+    return np.einsum("jm,...im->...ij", geom.D, field) / geom.jac
+
+
+def d_dbeta(field: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """d(field)/d(beta): GLL derivative along the second-to-last axis."""
+    return np.einsum("im,...mj->...ij", geom.D, field) / geom.jac
+
+
+def gradient_sphere(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Contravariant gradient of a scalar; output (..., np, np, 2).
+
+    cov_k = d s / d x^k; grad^i = metinv^{ik} cov_k.
+    """
+    cov = np.stack([d_dalpha(s, geom), d_dbeta(s, geom)], axis=-1)
+    metinv = _bshape(geom.metinv, s)
+    return np.einsum("...ik,...k->...i", metinv, cov)
+
+
+def gradient_cov(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Covariant gradient (d s/d alpha, d s/d beta); output (..., np, np, 2)."""
+    return np.stack([d_dalpha(s, geom), d_dbeta(s, geom)], axis=-1)
+
+
+def divergence_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Divergence of a contravariant vector field (..., np, np, 2).
+
+    div = (1/sqrt(g)) [ d(sqrt(g) v^1)/d alpha + d(sqrt(g) v^2)/d beta ].
+    """
+    metdet = _bshape(geom.metdet, v[..., 0])
+    f1 = metdet * v[..., 0]
+    f2 = metdet * v[..., 1]
+    return (d_dalpha(f1, geom) + d_dbeta(f2, geom)) / metdet
+
+
+def vorticity_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Relative vorticity (vertical component) of a contravariant field.
+
+    zeta = (1/sqrt(g)) [ d v_2/d alpha - d v_1/d beta ] with covariant
+    v_i = g_ij v^j.
+    """
+    met = _bshape(geom.met, v[..., 0])
+    vcov1 = met[..., 0, 0] * v[..., 0] + met[..., 0, 1] * v[..., 1]
+    vcov2 = met[..., 1, 0] * v[..., 0] + met[..., 1, 1] * v[..., 1]
+    metdet = _bshape(geom.metdet, v[..., 0])
+    return (d_dalpha(vcov2, geom) - d_dbeta(vcov1, geom)) / metdet
+
+
+def kinetic_energy(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """E = 0.5 |v|^2 = 0.5 g_ij v^i v^j for contravariant winds."""
+    met = _bshape(geom.met, v[..., 0])
+    return 0.5 * np.einsum("...kl,...k,...l->...", met, v, v)
+
+
+def k_cross(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """(k-hat x v) in contravariant components.
+
+    On a 2-manifold: (k x v)^i = eps^{ij} v_j with eps^{12} = 1/sqrt(g),
+    i.e. (k x v)^1 = -v_2/sqrt(g), (k x v)^2 = v_1/sqrt(g).
+    """
+    met = _bshape(geom.met, v[..., 0])
+    metdet = _bshape(geom.metdet, v[..., 0])
+    vcov1 = met[..., 0, 0] * v[..., 0] + met[..., 0, 1] * v[..., 1]
+    vcov2 = met[..., 1, 0] * v[..., 0] + met[..., 1, 1] * v[..., 1]
+    out = np.empty_like(v)
+    out[..., 0] = -vcov2 / metdet
+    out[..., 1] = vcov1 / metdet
+    return out
+
+
+def laplace_sphere(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Element-local Laplace--Beltrami operator div(grad s).
+
+    Discontinuous across element edges; hyperviscosity applies DSS
+    between the two Laplacian passes (see :mod:`repro.homme.hypervis`).
+    """
+    return divergence_sphere(gradient_sphere(s, geom), geom)
+
+
+def laplace_sphere_wk(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Weak-form Laplacian (HOMME's ``laplace_sphere_wk``), exactly
+    conservative under DSS.
+
+    Computes W_ij = -integral over the element of grad(phi_ij) . grad(s)
+    by GLL quadrature, then divides by spheremp so that
+    ``geom.dss(laplace_sphere_wk(s))`` assembles to the continuous weak
+    Laplacian.  Because the test functions phi_ij sum to one, the
+    sphere integral of the assembled result is exactly zero — the
+    property that keeps hyperviscosity on T and dp3d mass-conserving
+    (the strong form div(grad s) leaks O(1e-7) mass per step through
+    discontinuous edge fluxes).
+    """
+    grad = gradient_sphere(s, geom)  # contravariant g^{kl} d_l s
+    metdet = _bshape(geom.metdet, s)
+    w = geom.mesh.gll_w
+    wpwq = w[:, None] * w[None, :]
+    fac = metdet * wpwq * geom.jac**2
+    G1 = fac * grad[..., 0]
+    G2 = fac * grad[..., 1]
+    W = -(
+        np.einsum("qj,...iq->...ij", geom.D, G1)
+        + np.einsum("pi,...pj->...ij", geom.D, G2)
+    ) / geom.jac
+    spheremp = _bshape(geom.spheremp, s)
+    return W / spheremp
+
+
+def vlaplace_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Vector Laplacian in the HOMME form: grad(div v) - curl(curl v).
+
+    Computed componentwise through scalar identities:
+    lap(v) = grad(div v) - k x grad(zeta).
+    """
+    div = divergence_sphere(v, geom)
+    zeta = vorticity_sphere(v, geom)
+    g_div = gradient_sphere(div, geom)
+    g_zeta = gradient_sphere(zeta, geom)
+    return g_div - k_cross(g_zeta, geom)

@@ -1,0 +1,180 @@
+"""``vertical_remap``: conservative monotone remap to reference levels.
+
+Table 1: "compute the vertical flux needed to get back to reference
+eta-coordinate levels".  After the RK dynamics the Lagrangian layers
+have floated; this kernel remaps (u, v, T, q) from the floating
+thicknesses ``dp_src`` back to the reference thicknesses
+``dp_ref(ps)`` using the piecewise parabolic method (PPM) with the
+Colella--Woodward monotonic limiter, mass-conservative by construction
+(remapped via the cumulative-integral formulation).
+
+Columns are independent — this is the other kernel class the paper's
+8 x 16 layer decomposition (Figure 2) parallelizes across CPE rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from .element import ElementState
+from .rhs import PTOP
+
+
+def ppm_edge_values(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Monotone-limited PPM edge values aL, aR per cell.
+
+    ``a`` has layers on the last axis.  Edges use the 4th-order uniform
+    formula (the floating Lagrangian grid stays near-uniform in sigma
+    between remaps), clamped to the neighbouring cell means to keep the
+    reconstruction monotone.
+    """
+    L = a.shape[-1]
+    if L < 2:
+        raise KernelError("PPM needs at least 2 layers")
+    # Interface estimates a_{k+1/2} for k = 0..L-2 (between cells k, k+1).
+    if L >= 4:
+        inner = (7.0 * (a[..., 1:-2] + a[..., 2:-1]) - (a[..., 3:] + a[..., :-3])) / 12.0
+        first = 0.5 * (a[..., 0] + a[..., 1])
+        last = 0.5 * (a[..., -2] + a[..., -1])
+        iface = np.concatenate(
+            [first[..., None], inner, last[..., None]], axis=-1
+        )
+    else:
+        iface = 0.5 * (a[..., :-1] + a[..., 1:])
+    # Clamp interface values between adjacent cell means (monotone edges).
+    lo = np.minimum(a[..., :-1], a[..., 1:])
+    hi = np.maximum(a[..., :-1], a[..., 1:])
+    iface = np.clip(iface, lo, hi)
+
+    aL = np.concatenate([a[..., :1], iface], axis=-1)
+    aR = np.concatenate([iface, a[..., -1:]], axis=-1)
+
+    # Colella-Woodward limiter: local extrema become piecewise constant;
+    # overshooting parabolas are reset on one side.
+    da = aR - aL
+    a6 = 6.0 * (a - 0.5 * (aL + aR))
+    extrema = (aR - a) * (a - aL) <= 0.0
+    aL = np.where(extrema, a, aL)
+    aR = np.where(extrema, a, aR)
+    da = aR - aL
+    a6 = 6.0 * (a - 0.5 * (aL + aR))
+    overshoot_l = da * a6 > da * da
+    aL = np.where(overshoot_l, 3.0 * a - 2.0 * aR, aL)
+    overshoot_r = da * a6 < -da * da
+    aR = np.where(overshoot_r, 3.0 * a - 2.0 * aL, aR)
+    return aL, aR
+
+
+def _partial_integral(aL, da, a6, xi):
+    """Integral of the PPM parabola over cell fraction [0, xi]."""
+    return aL * xi + 0.5 * (da + a6) * xi**2 - a6 * xi**3 / 3.0
+
+
+def remap_ppm(
+    a_src: np.ndarray, dp_src: np.ndarray, dp_tgt: np.ndarray
+) -> np.ndarray:
+    """Remap cell means from source to target layer grids, conservatively.
+
+    All arrays have layers on the **last** axis; leading axes are
+    independent columns.  Source and target grids must span the same
+    total (sum of dp equal per column).
+    """
+    a_src = np.asarray(a_src, dtype=np.float64)
+    dp_src = np.asarray(dp_src, dtype=np.float64)
+    dp_tgt = np.asarray(dp_tgt, dtype=np.float64)
+    if a_src.shape != dp_src.shape or dp_src.shape != dp_tgt.shape:
+        raise KernelError("remap arrays must share shapes")
+    if np.any(dp_src <= 0) or np.any(dp_tgt <= 0):
+        raise KernelError("layer thicknesses must be positive")
+    tot_s = dp_src.sum(axis=-1)
+    tot_t = dp_tgt.sum(axis=-1)
+    if not np.allclose(tot_s, tot_t, rtol=1e-10):
+        raise KernelError("source and target grids must span the same column mass")
+
+    L = a_src.shape[-1]
+    lead = a_src.shape[:-1]
+    ncol = int(np.prod(lead)) if lead else 1
+    a = a_src.reshape(ncol, L)
+    dps = dp_src.reshape(ncol, L)
+    dpt = dp_tgt.reshape(ncol, L)
+
+    zi_s = np.concatenate([np.zeros((ncol, 1)), np.cumsum(dps, axis=1)], axis=1)
+    zi_t = np.concatenate([np.zeros((ncol, 1)), np.cumsum(dpt, axis=1)], axis=1)
+    # Guard against roundoff: force identical totals.
+    zi_t[:, -1] = zi_s[:, -1]
+
+    aL, aR = ppm_edge_values(a)
+    da = aR - aL
+    a6 = 6.0 * (a - 0.5 * (aL + aR))
+    # Cumulative mass at source interfaces.
+    cmass = np.concatenate(
+        [np.zeros((ncol, 1)), np.cumsum(a * dps, axis=1)], axis=1
+    )
+
+    cols = np.arange(ncol)
+
+    def cumulative_at(z):
+        """Cumulative mass at positions z (ncol,), via the parabola."""
+        # Cell containing z: largest k with zi_s[:, k] <= z, clipped to L-1.
+        k = np.clip(
+            (zi_s[:, :-1] <= z[:, None]).sum(axis=1) - 1, 0, L - 1
+        )
+        z0 = zi_s[cols, k]
+        dz = dps[cols, k]
+        xi = np.clip((z - z0) / dz, 0.0, 1.0)
+        return cmass[cols, k] + dz * _partial_integral(
+            aL[cols, k], da[cols, k], a6[cols, k], xi
+        )
+
+    out = np.empty_like(a)
+    m_lo = np.zeros(ncol)
+    for kt in range(L):
+        m_hi = cmass[:, -1] if kt == L - 1 else cumulative_at(zi_t[:, kt + 1])
+        out[:, kt] = (m_hi - m_lo) / dpt[:, kt]
+        m_lo = m_hi
+    return out.reshape(a_src.shape)
+
+
+def reference_dp(ps: np.ndarray, nlev: int, ptop: float = PTOP) -> np.ndarray:
+    """Reference (uniform-sigma) layer thicknesses for surface pressure ps.
+
+    dp_k = (ps - ptop) / nlev broadcast over the level axis inserted at
+    position 1 of ``ps``'s shape (E, n, n) -> (E, L, n, n).
+    """
+    dp = (ps - ptop) / nlev
+    return np.repeat(dp[:, None], nlev, axis=1)
+
+
+def vertical_remap(state: ElementState, ptop: float = PTOP) -> ElementState:
+    """Remap the full state back to reference levels (in place semantics).
+
+    Velocity and temperature remap mass-weighted (conserving momentum
+    and internal energy); tracers remap as qdp directly (conserving
+    tracer mass).  Returns a new state on the reference grid.
+    """
+    dp_src = state.dp3d
+    ps = state.ps(ptop)
+    dp_tgt = reference_dp(ps, state.nlev, ptop)
+
+    # Layers on the last axis for the remap kernel.
+    def to_last(x):
+        return np.moveaxis(x, 1, -1)
+
+    def from_last(x):
+        return np.moveaxis(x, -1, 1)
+
+    dps_l, dpt_l = to_last(dp_src), to_last(dp_tgt)
+    new = state.copy()
+    new.dp3d = dp_tgt
+    new.T = from_last(remap_ppm(to_last(state.T), dps_l, dpt_l))
+    for c in range(2):
+        new.v[..., c] = from_last(
+            remap_ppm(to_last(state.v[..., c]), dps_l, dpt_l)
+        )
+    for q in range(state.qsize):
+        # qdp / dp is the conserved-density form: remap mixing ratio and
+        # rebuild qdp on the target grid so tracer mass integrates identically.
+        qmix = to_last(state.qdp[:, q]) / dps_l
+        new.qdp[:, q] = from_last(remap_ppm(qmix, dps_l, dpt_l) * dpt_l)
+    return new

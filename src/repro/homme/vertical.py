@@ -1,0 +1,89 @@
+"""CAM's hybrid sigma-pressure vertical coordinate.
+
+The production model defines layer interfaces through hybrid
+coefficients,
+
+.. math:: p_{k+1/2} = A_{k+1/2}\\, p_0 + B_{k+1/2}\\, p_s,
+
+pure pressure near the top (A = sigma_ref, B = 0, so levels are flat
+where terrain should not wiggle them) blending to pure sigma at the
+surface (A = 0, B = 1).  The reproduction's experiments use uniform
+sigma for simplicity; this module supplies the real coordinate so the
+vertical remap can target CAM-faithful reference levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HybridCoordinate:
+    """Hybrid A/B interface coefficients for ``nlev`` layers.
+
+    ``hyai``/``hybi`` have nlev + 1 entries, index 0 = model top.
+    Invariants (validated): A + B monotone increasing in sigma-space,
+    B(top) = 0, A(surface) = 0, B(surface) = 1.
+    """
+
+    hyai: np.ndarray
+    hybi: np.ndarray
+    p0: float = 100000.0
+
+    def __post_init__(self) -> None:
+        A, B = np.asarray(self.hyai), np.asarray(self.hybi)
+        if A.shape != B.shape or A.ndim != 1 or len(A) < 2:
+            raise ConfigurationError("hyai/hybi must be equal-length vectors")
+        if abs(B[0]) > 1e-12 or abs(A[-1]) > 1e-12 or abs(B[-1] - 1.0) > 1e-12:
+            raise ConfigurationError(
+                "hybrid coefficients must satisfy B(top)=0, A(sfc)=0, B(sfc)=1"
+            )
+        if np.any(np.diff(A + B) <= 0):
+            raise ConfigurationError("A + B must increase monotonically")
+
+    @property
+    def nlev(self) -> int:
+        return len(self.hyai) - 1
+
+    @classmethod
+    def cam_like(cls, nlev: int, ptop: float = 219.0, p0: float = 100000.0,
+                 blend_power: float = 1.8) -> "HybridCoordinate":
+        """A smooth CAM-style coefficient set.
+
+        Reference sigma levels are uniform; the B coefficient ramps in
+        as sigma^blend_power (terrain-following only near the surface),
+        with A carrying the remainder.
+        """
+        if nlev < 2:
+            raise ConfigurationError("nlev must be >= 2")
+        sigma = np.linspace(ptop / p0, 1.0, nlev + 1)
+        B = ((sigma - sigma[0]) / (1.0 - sigma[0])) ** blend_power
+        A = sigma - B  # so A p0 + B p0 = sigma p0 at ps = p0
+        # Enforce the exact boundary values against roundoff.
+        B[0], A[-1], B[-1] = 0.0, 0.0, 1.0
+        return cls(hyai=A, hybi=B, p0=p0)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def interface_pressures(self, ps: np.ndarray) -> np.ndarray:
+        """p at interfaces for surface pressures ``ps`` (level axis first)."""
+        ps = np.asarray(ps)
+        shape = (self.nlev + 1,) + (1,) * ps.ndim
+        return self.hyai.reshape(shape) * self.p0 + self.hybi.reshape(shape) * ps
+
+    def reference_dp(self, ps: np.ndarray) -> np.ndarray:
+        """Layer thicknesses dp_k(ps) with the level axis FIRST."""
+        p_int = self.interface_pressures(ps)
+        dp = np.diff(p_int, axis=0)
+        if np.any(dp <= 0):
+            raise ConfigurationError("non-monotone hybrid levels for given ps")
+        return dp
+
+    def reference_dp_elementwise(self, ps: np.ndarray) -> np.ndarray:
+        """dp shaped (E, L, n, n) for ps shaped (E, n, n) (dycore layout)."""
+        dp = self.reference_dp(ps)          # (L, E, n, n)
+        return np.moveaxis(dp, 0, 1)

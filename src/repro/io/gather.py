@@ -1,0 +1,65 @@
+"""The serialized gather behind history writes.
+
+CAM's I/O on TaihuLight funnels field data through a small set of
+writer ranks; modeled (and executed functionally over SimMPI) as a
+rank-0 gather: every rank sends its slice, rank 0 assembles in element
+order.  The cost is what makes the whole-CAM I/O term proportional to
+*global* columns rather than per-rank work
+(:class:`~repro.perf.scaling.CAMPerfModel`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimMPIError
+from ..mesh.partition import SFCPartition
+from ..network.simmpi import SimMPI
+
+#: Effective disk bandwidth of the serialized writer path [bytes/s].
+WRITER_BANDWIDTH = 0.6e9
+
+
+def gather_field(
+    mpi: SimMPI,
+    part: SFCPartition,
+    local_fields: list[np.ndarray],
+    root: int = 0,
+    tag: int = 900,
+) -> np.ndarray:
+    """Functionally gather per-rank element slices to ``root``.
+
+    ``local_fields[r]`` holds rank r's elements in its partition order;
+    the result is the global element-ordered array on the root.  Clocks
+    advance with the serialized receive chain (the I/O bottleneck).
+    """
+    if len(local_fields) != part.nranks or mpi.nranks != part.nranks:
+        raise SimMPIError("one local field per rank required")
+    shape = (part.nelem,) + local_fields[root].shape[1:]
+    out = np.empty(shape)
+    out[part.rank_elements(root)] = local_fields[root]
+    for r in range(part.nranks):
+        if r == root:
+            continue
+        mpi.isend(r, root, local_fields[r], tag=tag + r)
+    for r in range(part.nranks):
+        if r == root:
+            continue
+        data = mpi.wait(mpi.irecv(root, r, tag=tag + r))
+        out[part.rank_elements(r)] = data
+    return out
+
+
+def gather_cost_seconds(
+    nbytes_global: float, nranks: int, alpha: float = 2.2e-6
+) -> float:
+    """Analytic cost of the serialized gather + disk write.
+
+    The root receives ``nbytes_global`` in ``nranks - 1`` messages
+    (latency-serialized) and streams them to disk.
+    """
+    if nbytes_global < 0 or nranks < 1:
+        raise ValueError("invalid gather parameters")
+    recv = (nranks - 1) * alpha + nbytes_global / 12e9
+    disk = nbytes_global / WRITER_BANDWIDTH
+    return recv + disk

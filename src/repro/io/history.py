@@ -1,0 +1,103 @@
+"""A self-describing binary history-file format.
+
+Layout::
+
+    magic  b"CAMH"            4 bytes
+    version uint32            4 bytes
+    nrecords uint32           4 bytes
+    per record:
+        name_len uint32, name utf-8
+        time float64
+        ndim uint32, shape uint64 * ndim
+        data float64 (C order)
+
+Deliberately simple (no compression, no chunking) but complete: every
+field written round-trips bit-exactly, and the format is append-only so
+a simulation can stream daily records.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+MAGIC = b"CAMH"
+VERSION = 1
+
+
+@dataclass
+class HistoryRecord:
+    """One named, timestamped field."""
+
+    name: str
+    time: float
+    data: np.ndarray
+
+
+class HistoryWriter:
+    """Appends records to a history file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._count = 0
+        with open(self.path, "wb") as f:
+            f.write(MAGIC)
+            f.write(struct.pack("<II", VERSION, 0))
+
+    def write(self, name: str, time: float, data: np.ndarray) -> int:
+        """Append one record; returns bytes written."""
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        name_b = name.encode("utf-8")
+        with open(self.path, "ab") as f:
+            f.write(struct.pack("<I", len(name_b)))
+            f.write(name_b)
+            f.write(struct.pack("<d", time))
+            f.write(struct.pack("<I", data.ndim))
+            f.write(struct.pack(f"<{data.ndim}Q", *data.shape))
+            f.write(data.tobytes())
+        self._count += 1
+        # Patch the record count in the header.
+        with open(self.path, "r+b") as f:
+            f.seek(8)
+            f.write(struct.pack("<I", self._count))
+        return 4 + len(name_b) + 8 + 4 + 8 * data.ndim + data.nbytes
+
+
+class HistoryReader:
+    """Reads a history file back."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as f:
+            magic = f.read(4)
+            if magic != MAGIC:
+                raise ValueError(f"{path}: not a CAMH history file")
+            version, self.nrecords = struct.unpack("<II", f.read(8))
+            if version != VERSION:
+                raise ValueError(f"{path}: unsupported version {version}")
+
+    def records(self) -> list[HistoryRecord]:
+        """All records, in write order."""
+        out = []
+        with open(self.path, "rb") as f:
+            f.seek(12)
+            for _ in range(self.nrecords):
+                (nlen,) = struct.unpack("<I", f.read(4))
+                name = f.read(nlen).decode("utf-8")
+                (time,) = struct.unpack("<d", f.read(8))
+                (ndim,) = struct.unpack("<I", f.read(4))
+                shape = struct.unpack(f"<{ndim}Q", f.read(8 * ndim))
+                n = int(np.prod(shape)) if ndim else 1
+                data = np.frombuffer(f.read(8 * n), dtype=np.float64).reshape(shape)
+                out.append(HistoryRecord(name, time, data.copy()))
+        return out
+
+    def record(self, name: str, index: int = 0) -> HistoryRecord:
+        """The ``index``-th record named ``name``."""
+        matches = [r for r in self.records() if r.name == name]
+        if index >= len(matches):
+            raise KeyError(f"record {name!r}[{index}] not in {self.path}")
+        return matches[index]

@@ -1,0 +1,36 @@
+"""The Hurricane Katrina experiment (paper Section 9, Figure 9).
+
+The paper performs "the first simulation of the complete lifecycle of
+hurricane Katrina" with a global model, showing that 25-km resolution
+(ne120) captures the storm's structure, track and intensity while
+100-km (ne30) fails.  We reproduce the *resolution-sensitivity*
+finding with the pieces we built:
+
+- :mod:`~repro.katrina.besttrack` — the NHC best track of Katrina
+  (Aug 23 - Aug 31 2005), embedded as data;
+- :mod:`~repro.katrina.vortex` — a Reed--Jablonowski-style analytic
+  warm-core vortex in gradient-wind balance, planted at Katrina's
+  genesis position;
+- :mod:`~repro.katrina.track` — a minimum-surface-pressure vortex
+  tracker with maximum-sustained-wind diagnosis;
+- :mod:`~repro.katrina.experiment` — the coarse-vs-fine twin runs on a
+  reduced-radius ("small Earth") sphere, the standard DCMIP device that
+  makes TC-resolving grid spacings laptop-affordable while preserving
+  the dynamics; resolution sensitivity (fine run intensifies and
+  tracks; coarse run cannot) is the reproduced result.
+"""
+
+from .besttrack import KATRINA_BEST_TRACK, BestTrackPoint
+from .vortex import plant_vortex, VortexParameters
+from .track import VortexTracker, TrackPoint
+from .experiment import KatrinaExperiment
+
+__all__ = [
+    "KATRINA_BEST_TRACK",
+    "BestTrackPoint",
+    "plant_vortex",
+    "VortexParameters",
+    "VortexTracker",
+    "TrackPoint",
+    "KatrinaExperiment",
+]

@@ -1,0 +1,84 @@
+"""NHC best track of Hurricane Katrina (abridged HURDAT2 values).
+
+Six-hourly positions and intensities from 1800 UTC 23 August (tropical
+depression near the Bahamas) to 0600 UTC 31 August 2005 (remnant low
+over the Ohio valley) — the observation series behind the paper's
+Figure 9 panels (c) track and (d) maximum sustained wind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BestTrackPoint:
+    """One best-track fix."""
+
+    hours: float          # hours since 1800 UTC 23 Aug 2005
+    lat: float            # degrees north
+    lon: float            # degrees east (negative = west)
+    max_wind_kt: float    # maximum sustained wind [knots]
+    min_pressure_hpa: float
+
+    @property
+    def max_wind_ms(self) -> float:
+        """Maximum sustained wind [m/s]."""
+        return self.max_wind_kt * 0.514444
+
+
+#: (hours, lat, lon, max wind kt, central pressure hPa).
+_RAW = (
+    (0, 23.1, -75.1, 30, 1008),
+    (6, 23.4, -75.7, 30, 1007),
+    (12, 23.8, -76.2, 30, 1007),
+    (18, 24.5, -76.5, 35, 1006),
+    (24, 25.4, -76.9, 40, 1003),
+    (30, 26.0, -77.7, 45, 1000),
+    (36, 26.1, -78.4, 50, 997),
+    (42, 26.2, -79.0, 55, 994),
+    (48, 26.2, -79.6, 60, 988),
+    (54, 25.9, -80.3, 70, 983),
+    (60, 25.4, -81.3, 65, 987),
+    (66, 25.1, -82.0, 75, 979),
+    (72, 24.9, -82.6, 85, 968),
+    (78, 24.6, -83.3, 90, 959),
+    (84, 24.4, -84.0, 100, 950),
+    (90, 24.4, -84.7, 100, 942),
+    (96, 24.5, -85.3, 100, 948),
+    (102, 24.8, -85.9, 100, 941),
+    (108, 25.2, -86.7, 125, 930),
+    (114, 25.7, -87.7, 145, 909),
+    (120, 26.3, -88.6, 150, 902),
+    (126, 27.2, -89.2, 140, 905),
+    (132, 28.2, -89.6, 125, 913),
+    (138, 29.5, -89.6, 110, 923),
+    (144, 31.1, -89.6, 80, 948),
+    (150, 32.6, -89.1, 50, 961),
+    (156, 34.1, -88.6, 40, 978),
+    (162, 35.6, -88.0, 30, 985),
+    (168, 37.0, -87.0, 30, 990),
+    (174, 38.6, -85.3, 30, 994),
+    (180, 40.1, -82.9, 25, 996),
+)
+
+#: The full lifecycle series.
+KATRINA_BEST_TRACK: tuple[BestTrackPoint, ...] = tuple(
+    BestTrackPoint(*row) for row in _RAW
+)
+
+#: Genesis fix (the initial condition of the experiment).
+GENESIS = KATRINA_BEST_TRACK[0]
+
+#: Peak intensity fix (1800 UTC 28 August, 150 kt / 902 hPa).
+PEAK = max(KATRINA_BEST_TRACK, key=lambda p: p.max_wind_kt)
+
+
+def observed_track() -> tuple[tuple[float, float], ...]:
+    """(lat, lon) series for track comparison."""
+    return tuple((p.lat, p.lon) for p in KATRINA_BEST_TRACK)
+
+
+def observed_msw_ms() -> tuple[float, ...]:
+    """Maximum-sustained-wind series [m/s]."""
+    return tuple(p.max_wind_ms for p in KATRINA_BEST_TRACK)

@@ -1,0 +1,113 @@
+"""Vortex tracker: center fixes and maximum sustained wind.
+
+The standard TC-tracking recipe: the center is the minimum of the
+(lightly smoothed) surface pressure within a search radius of the
+previous fix; the maximum sustained wind (MSW) is the largest
+lowest-level wind speed within the storm radius — the quantities the
+paper compares against the NHC observations in Figure 9 (c)/(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..homme.element import ElementGeometry, ElementState
+from ..homme.rhs import PTOP
+from ..homme import operators as op
+from .vortex import great_circle
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One tracker fix."""
+
+    hours: float
+    lat: float            # degrees
+    lon: float            # degrees east (negative west)
+    msw_ms: float         # maximum sustained wind [m/s]
+    min_ps_hpa: float     # central surface pressure [hPa]
+
+
+class VortexTracker:
+    """Tracks one storm through a sequence of model states."""
+
+    def __init__(
+        self,
+        geom: ElementGeometry,
+        first_guess_lat: float,
+        first_guess_lon: float,
+        search_radius_m: float = 1.2e6,
+        storm_radius_m: float = 5.0e5,
+    ) -> None:
+        self.geom = geom
+        self.last_lat = np.deg2rad(first_guess_lat)
+        self.last_lon = np.mod(np.deg2rad(first_guess_lon), 2 * np.pi)
+        self.search_radius = search_radius_m
+        self.storm_radius = storm_radius_m
+        self.fixes: list[TrackPoint] = []
+
+    def fix(self, state: ElementState, hours: float) -> TrackPoint:
+        """Locate the storm in ``state`` and append a track point."""
+        geom = self.geom
+        ps = state.ps(PTOP)
+        r, _ = great_circle(
+            self.last_lat, self.last_lon, geom.lat, geom.lon, geom.radius
+        )
+        search = r <= self.search_radius
+        if not np.any(search):
+            raise ValueError("search radius contains no grid points")
+        masked = np.where(search, ps, np.inf)
+        idx = np.unravel_index(np.argmin(masked), ps.shape)
+        clat, clon = geom.lat[idx], geom.lon[idx]
+
+        # MSW: lowest-level wind within the storm radius of the new fix.
+        speed = np.sqrt(2.0 * op.kinetic_energy(state.v[:, -1], geom))
+        r2, _ = great_circle(clat, clon, geom.lat, geom.lon, geom.radius)
+        storm = r2 <= self.storm_radius
+        msw = float(np.max(np.where(storm, speed, 0.0)))
+
+        self.last_lat, self.last_lon = float(clat), float(clon)
+        lon_deg = np.rad2deg(float(clon))
+        if lon_deg > 180.0:
+            lon_deg -= 360.0
+        pt = TrackPoint(
+            hours=hours,
+            lat=float(np.rad2deg(clat)),
+            lon=lon_deg,
+            msw_ms=msw,
+            min_ps_hpa=float(ps[idx]) / 100.0,
+        )
+        self.fixes.append(pt)
+        return pt
+
+    # -- skill metrics -------------------------------------------------------
+
+    def track_error_km(
+        self, observed: list[tuple[float, float]], radius: float
+    ) -> float:
+        """Mean great-circle error [km] against (lat, lon) observations.
+
+        Compares pairwise over the first min(len) fixes.
+        """
+        n = min(len(self.fixes), len(observed))
+        if n == 0:
+            raise ValueError("no fixes to compare")
+        errs = []
+        for fx, (olat, olon) in zip(self.fixes[:n], observed[:n]):
+            d, _ = great_circle(
+                np.deg2rad(fx.lat),
+                np.deg2rad(fx.lon % 360.0),
+                np.array(np.deg2rad(olat)),
+                np.array(np.deg2rad(olon % 360.0)),
+                radius,
+            )
+            errs.append(float(d) / 1e3)
+        return float(np.mean(errs))
+
+    def msw_series(self) -> np.ndarray:
+        return np.array([p.msw_ms for p in self.fixes])
+
+    def min_ps_series(self) -> np.ndarray:
+        return np.array([p.min_ps_hpa for p in self.fixes])

@@ -1,0 +1,149 @@
+"""Analytic warm-core tropical-cyclone vortex (Reed--Jablonowski style).
+
+A gradient-wind-balanced axisymmetric vortex planted on the sphere:
+
+- surface pressure depression  dp(r) = dp0 * exp(-(r/rp)^1.5);
+- tangential wind from a modified Rankine profile
+  v(r) = vmax * (r/rm) * exp((1 - (r/rm)^b)/b), decaying with height;
+- a warm-core temperature anomaly consistent with the hydrostatic
+  weakening of the depression aloft;
+- near-saturated moisture in the core (fuel for the RJ physics).
+
+Used by the Katrina experiment to initialize the storm at the observed
+genesis position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants as C
+from ..homme.element import ElementGeometry, ElementState
+from ..homme.rhs import PTOP
+from ..physics.kessler import saturation_mixing_ratio
+
+
+@dataclass(frozen=True)
+class VortexParameters:
+    """Tunable vortex structure (defaults ~ RJ2012 / Katrina genesis)."""
+
+    center_lat_deg: float = 23.1
+    center_lon_deg: float = -75.1
+    dp0: float = 2500.0          # legacy central deficit [Pa] (unused when balanced)
+    rp: float = 150.0e3          # pressure/moisture-profile radius [m]
+    vmax: float = 15.0           # initial max tangential wind [m/s]
+    rm: float = 60.0e3           # radius of maximum wind [m]
+    b: float = 0.7               # Rankine shape exponent
+    warm_core_k: float = 2.5     # core temperature anomaly [K]
+    depth_sigma: float = 0.45    # vertical decay scale (in sigma)
+    core_rh: float = 0.95        # relative humidity inside the core
+
+
+def great_circle(lat1, lon1, lat2, lon2, radius):
+    """Distance [m] and initial bearing [rad] from point 1 to point 2."""
+    dlon = lon2 - lon1
+    s = np.arccos(
+        np.clip(
+            np.sin(lat1) * np.sin(lat2)
+            + np.cos(lat1) * np.cos(lat2) * np.cos(dlon),
+            -1.0,
+            1.0,
+        )
+    )
+    # Bearing from the vortex center toward each point.
+    y = np.sin(dlon) * np.cos(lat2)
+    x = np.cos(lat1) * np.sin(lat2) - np.sin(lat1) * np.cos(lat2) * np.cos(dlon)
+    return s * radius, np.arctan2(y, x)
+
+
+def tangential_wind(r: np.ndarray, p: VortexParameters) -> np.ndarray:
+    """Modified-Rankine tangential wind profile v(r) [m/s]."""
+    x = np.maximum(r, 1.0) / p.rm
+    return p.vmax * x * np.exp((1.0 - x**p.b) / p.b)
+
+
+def plant_vortex(
+    state: ElementState,
+    geom: ElementGeometry,
+    params: VortexParameters | None = None,
+    qv_index: int = 0,
+) -> ElementState:
+    """Superpose the vortex on ``state`` (modifies a copy; returns it).
+
+    The surface-pressure deficit enters through dp3d (every sigma layer
+    thins proportionally), the wind field through the contravariant
+    velocity, the warm core through T, and the moist core through the
+    ``qv_index`` tracer.
+    """
+    p = params or VortexParameters()
+    out = state.copy()
+    lat0 = np.deg2rad(p.center_lat_deg)
+    lon0 = np.mod(np.deg2rad(p.center_lon_deg), 2 * np.pi)
+
+    r, bearing = great_circle(lat0, lon0, geom.lat, geom.lon, geom.radius)
+
+    # Surface pressure depression in gradient-wind balance with the
+    # tangential wind profile:  dp/dr = rho (v^2/r + f v), integrated
+    # inward from the far field.  An unbalanced (wind, pressure) pair
+    # collapses in the first few steps of the primitive equations; the
+    # balanced pair survives the adjustment (RJ2012's construction).
+    omega = getattr(geom.mesh, "omega", C.EARTH_OMEGA)
+    f0 = 2.0 * omega * np.sin(lat0)
+    rho0 = C.P0 / (C.R_DRY * 290.0)
+    r_max = max(10.0 * p.rm, 6.0 * p.rp)
+    r_grid = np.linspace(1.0, r_max, 4000)
+    v_grid = tangential_wind(r_grid, p)
+    integrand = rho0 * (v_grid**2 / r_grid + abs(f0) * v_grid)
+    # Cumulative integral from r to infinity (trapezoid, reversed).
+    dr = r_grid[1] - r_grid[0]
+    tail = np.concatenate(
+        [np.cumsum((integrand[::-1][:-1] + integrand[::-1][1:]) * 0.5 * dr)[::-1], [0.0]]
+    )
+    dps = -np.interp(np.clip(r, 1.0, r_max), r_grid, tail)  # (E, n, n)
+
+    # Sigma profile for vertical decay of wind and warm core.
+    nlev = out.nlev
+    sigma = (np.arange(nlev) + 0.5) / nlev               # 0 top .. 1 surface
+    vert = np.exp(-((1.0 - sigma) / p.depth_sigma) ** 2)  # max at surface
+
+    # Distribute the mass deficit with the same vertical decay as the
+    # wind, so the pressure gradient vanishes aloft where the wind does
+    # (a barotropic deficit under a sheared vortex is unbalanced and
+    # collapses in the first few steps).
+    w_lev = vert / vert.sum()
+    out.dp3d += dps[:, None] * w_lev[None, :, None, None]
+
+    # Tangential wind: cyclonic (counterclockwise in the NH) around the
+    # center.  The azimuthal direction at each point is perpendicular to
+    # the bearing *from the center*: east/north components.
+    # With bearing theta measured from north (clockwise toward east),
+    # the cyclonic (NH counterclockwise) azimuthal unit vector at a
+    # point is (-cos(theta), sin(theta)) in (east, north) components.
+    vt = tangential_wind(r, p)
+    u = -vt * np.cos(bearing)
+    v = vt * np.sin(bearing)
+    # Convert on the full mesh (the conversion matrices live there).
+    full = geom.mesh
+    uu = np.zeros((full.nelem,) + full.lat.shape[1:])
+    vv = np.zeros_like(uu)
+    uu[geom.elem_ids] = u
+    vv[geom.elem_ids] = v
+    vc = full.spherical_to_contravariant(uu, vv)[geom.elem_ids]
+    out.v += vc[:, None] * vert[None, :, None, None, None]
+
+    # Warm core, peaked in the mid troposphere.
+    core_vert = np.exp(-(((sigma - 0.35) / 0.3) ** 2))
+    dT = p.warm_core_k * np.exp(-((r / p.rp) ** 2))
+    out.T += dT[:, None] * core_vert[None, :, None, None]
+
+    # Moist core: relative humidity core_rh inside 2 rp, decaying out.
+    from ..homme.rhs import compute_pressure
+
+    p_mid, _ = compute_pressure(out.dp3d)
+    qvs = saturation_mixing_ratio(out.T, p_mid)
+    rh_bg = 0.5
+    rh = rh_bg + (p.core_rh - rh_bg) * np.exp(-((r / (2 * p.rp)) ** 2))
+    out.qdp[:, qv_index] = rh[:, None] * qvs * out.dp3d
+    return out

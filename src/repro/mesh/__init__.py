@@ -1,0 +1,35 @@
+"""The cubed-sphere spectral-element mesh substrate.
+
+CAM-SE discretizes the sphere as six gnomonic cube faces, each tiled
+with ``ne x ne`` spectral elements carrying an ``np x np`` grid of
+Gauss--Lobatto--Legendre (GLL) points (paper Section 8.1.3, Table 2).
+
+- :mod:`~repro.mesh.gll` — GLL nodes, weights, derivative matrices;
+- :mod:`~repro.mesh.cubed_sphere` — equiangular cubed-sphere geometry
+  with analytic metric terms and global DOF assembly (for the
+  functional dycore at laptop scale);
+- :mod:`~repro.mesh.connectivity` — structural element adjacency valid
+  at any ``ne`` (derived once from geometry, then applied cheaply);
+- :mod:`~repro.mesh.sfc` — Hilbert space-filling curve ordering;
+- :mod:`~repro.mesh.partition` — SFC domain decomposition, halo graphs,
+  and the inner/boundary element split the overlap redesign uses.
+"""
+
+from .gll import gll_points, gll_weights, derivative_matrix
+from .cubed_sphere import CubedSphereMesh
+from .connectivity import CubeConnectivity
+from .sfc import hilbert_d2xy, hilbert_xy2d, sfc_ordering
+from .partition import SFCPartition, RankHalo
+
+__all__ = [
+    "gll_points",
+    "gll_weights",
+    "derivative_matrix",
+    "CubedSphereMesh",
+    "CubeConnectivity",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "sfc_ordering",
+    "SFCPartition",
+    "RankHalo",
+]

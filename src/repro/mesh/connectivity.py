@@ -1,0 +1,181 @@
+"""Structural element adjacency on the cubed sphere, valid at any ne.
+
+Within a face, element neighbors are index arithmetic.  Across faces we
+exploit a property of the *equiangular* projection: a shared cube edge
+has the **same angular parameterization from both faces**, so the point
+just beyond a face boundary, constructed analytically with the face's
+own gnomonic formula (tan extends smoothly past pi/4), lands inside the
+correct neighbor element of the adjacent face.  We classify that probe
+point by its dominant Cartesian axis and invert the neighbor face's
+gnomonic map — no hand-maintained orientation tables, and the result is
+validated against the geometric (GLL-point-matching) adjacency of
+:class:`~repro.mesh.cubed_sphere.CubedSphereMesh` in the test suite.
+
+This machinery is cheap (a few vector ops per element) and is what the
+partitioner uses for meshes far too large to build geometrically
+(ne = 1024 and beyond, paper Figures 7/8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+from .cubed_sphere import _FACE_XYZ
+
+#: Edge order: 0 = south (fi-1), 1 = east (fj+1), 2 = north (fi+1), 3 = west (fj-1).
+EDGE_OFFSETS = ((-1, 0), (0, 1), (1, 0), (0, -1))
+
+#: Corner order: 0 = SW, 1 = SE, 2 = NE, 3 = NW.
+CORNER_OFFSETS = ((-1, -1), (-1, 1), (1, 1), (1, -1))
+
+
+def _face_of_point(p: np.ndarray) -> np.ndarray:
+    """Classify unit vectors by dominant axis into faces 0..5."""
+    x, y, z = p[..., 0], p[..., 1], p[..., 2]
+    ax, ay, az = np.abs(x), np.abs(y), np.abs(z)
+    face = np.empty(p.shape[:-1], dtype=np.int64)
+    xd = (ax >= ay) & (ax >= az)
+    yd = (ay > ax) & (ay >= az)
+    zd = ~(xd | yd)
+    face[xd] = np.where(x[xd] > 0, 0, 2)
+    face[yd] = np.where(y[yd] > 0, 1, 3)
+    face[zd] = np.where(z[zd] > 0, 4, 5)
+    return face
+
+
+def _invert_face(face: np.ndarray, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-face gnomonic inversion: unit vector -> (a, b) = (tan alpha, tan beta)."""
+    x, y, z = p[..., 0], p[..., 1], p[..., 2]
+    a = np.empty_like(x)
+    b = np.empty_like(x)
+    for f, (fa, fb) in {
+        0: (lambda: y / x, lambda: z / x),
+        1: (lambda: -x / y, lambda: z / y),
+        2: (lambda: y / x, lambda: -z / x),
+        3: (lambda: -x / y, lambda: -z / y),
+        4: (lambda: y / z, lambda: -x / z),
+        5: (lambda: -y / z, lambda: -x / z),
+    }.items():
+        sel = face == f
+        if np.any(sel):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                a_all, b_all = fa(), fb()
+            a[sel] = a_all[sel]
+            b[sel] = b_all[sel]
+    return a, b
+
+
+class CubeConnectivity:
+    """Element adjacency for an ne x ne x 6 cubed-sphere mesh.
+
+    Elements are numbered ``k = face * ne^2 + fi * ne + fj``.  The
+    arrays built here:
+
+    - ``edge_neighbors`` — (nelem, 4): neighbor across S/E/N/W edges;
+    - ``corner_neighbors`` — (nelem, 4): diagonal neighbor at SW/SE/NE/NW,
+      or -1 where three elements meet at a cube corner (no fourth).
+    """
+
+    def __init__(self, ne: int) -> None:
+        if ne < 2:
+            raise MeshError(f"ne must be >= 2, got {ne}")
+        self.ne = ne
+        self.nelem = 6 * ne * ne
+        self._build()
+
+    # -- index helpers -------------------------------------------------------
+
+    def eid(self, face, fi, fj):
+        """Element id from (face, row, col); accepts arrays."""
+        return face * self.ne * self.ne + fi * self.ne + fj
+
+    def locate(self, k):
+        """(face, fi, fj) from element ids; accepts arrays."""
+        ne2 = self.ne * self.ne
+        face = k // ne2
+        rem = k - face * ne2
+        return face, rem // self.ne, rem % self.ne
+
+    # -- construction ------------------------------------------------------------
+
+    def _probe(self, face, alpha, beta):
+        """Map (possibly out-of-face) angles to the element containing them."""
+        a, b = np.tan(alpha), np.tan(beta)
+        p = np.empty(alpha.shape + (3,))
+        for f in range(6):
+            sel = face == f
+            if np.any(sel):
+                x, y, z = _FACE_XYZ[f](a[sel], b[sel])
+                v = np.stack([x, y, z], axis=-1)
+                p[sel] = v / np.linalg.norm(v, axis=-1, keepdims=True)
+        tface = _face_of_point(p)
+        ta, tb = _invert_face(tface, p)
+        dal = (np.pi / 2.0) / self.ne
+        fj = np.floor((np.arctan(ta) + np.pi / 4.0) / dal).astype(np.int64)
+        fi = np.floor((np.arctan(tb) + np.pi / 4.0) / dal).astype(np.int64)
+        np.clip(fi, 0, self.ne - 1, out=fi)
+        np.clip(fj, 0, self.ne - 1, out=fj)
+        return self.eid(tface, fi, fj)
+
+    def _build(self) -> None:
+        ne = self.ne
+        dal = (np.pi / 2.0) / ne
+        k = np.arange(self.nelem)
+        face, fi, fj = self.locate(k)
+        # Element centers in angle coordinates.
+        ca = -np.pi / 4.0 + (fj + 0.5) * dal
+        cb = -np.pi / 4.0 + (fi + 0.5) * dal
+
+        self.edge_neighbors = np.empty((self.nelem, 4), dtype=np.int64)
+        for e, (di, dj) in enumerate(EDGE_OFFSETS):
+            ni, nj = fi + di, fj + dj
+            inside = (0 <= ni) & (ni < ne) & (0 <= nj) & (nj < ne)
+            out = ~inside
+            self.edge_neighbors[inside, e] = self.eid(
+                face[inside], ni[inside], nj[inside]
+            )
+            if np.any(out):
+                # Probe just past the shared edge: step from the edge
+                # midpoint outward by a small fraction of an element.
+                pa = ca[out] + dj * (0.5 + 0.05) * dal
+                pb = cb[out] + di * (0.5 + 0.05) * dal
+                self.edge_neighbors[out, e] = self._probe(face[out], pa, pb)
+
+        self.corner_neighbors = np.empty((self.nelem, 4), dtype=np.int64)
+        for c, (di, dj) in enumerate(CORNER_OFFSETS):
+            ni, nj = fi + di, fj + dj
+            inside = (0 <= ni) & (ni < ne) & (0 <= nj) & (nj < ne)
+            out = ~inside
+            self.corner_neighbors[inside, c] = self.eid(
+                face[inside], ni[inside], nj[inside]
+            )
+            if np.any(out):
+                pa = ca[out] + dj * (0.5 + 0.05) * dal
+                pb = cb[out] + di * (0.5 + 0.05) * dal
+                target = self._probe(face[out], pa, pb)
+                # At a cube corner three elements meet: the diagonal probe
+                # falls into an element that is already an edge neighbor;
+                # record -1 (no distinct corner neighbor) there.
+                idx = np.nonzero(out)[0]
+                dup = (
+                    (target == self.edge_neighbors[idx, 0])
+                    | (target == self.edge_neighbors[idx, 1])
+                    | (target == self.edge_neighbors[idx, 2])
+                    | (target == self.edge_neighbors[idx, 3])
+                )
+                target = np.where(dup, -1, target)
+                self.corner_neighbors[out, c] = target
+
+    # -- queries --------------------------------------------------------------
+
+    def all_neighbors(self, k: int) -> list[int]:
+        """Edge + existing corner neighbors of element ``k`` (4 to 8 ids)."""
+        ids = list(self.edge_neighbors[k]) + [
+            c for c in self.corner_neighbors[k] if c >= 0
+        ]
+        return [int(i) for i in ids]
+
+    def neighbor_matrix(self) -> np.ndarray:
+        """(nelem, 8) edge+corner neighbor ids, -1 for absent corners."""
+        return np.concatenate([self.edge_neighbors, self.corner_neighbors], axis=1)

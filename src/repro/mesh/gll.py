@@ -1,0 +1,85 @@
+"""Gauss--Lobatto--Legendre quadrature and spectral derivative matrices.
+
+CAM-SE uses np=4 GLL points per element edge (fourth-order accurate).
+Nodes are the roots of (1 - x^2) P'_{n-1}(x); weights are
+2 / (n (n-1) P_{n-1}(x_i)^2).  The derivative matrix is the exact
+derivative of the Lagrange interpolating basis evaluated at the nodes,
+built from barycentric weights for numerical stability.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+
+@lru_cache(maxsize=None)
+def _gll_points_weights(n: int) -> tuple[np.ndarray, np.ndarray]:
+    if n < 2:
+        raise ValueError(f"GLL rule needs at least 2 points, got {n}")
+    # P_{n-1} coefficients in Legendre basis, differentiate for interior roots.
+    coeffs = np.zeros(n)
+    coeffs[-1] = 1.0
+    dcoeffs = npleg.legder(coeffs)
+    interior = npleg.legroots(dcoeffs)
+    pts = np.concatenate([[-1.0], np.sort(interior), [1.0]])
+    # Weights: 2 / (n (n-1) P_{n-1}(x)^2).
+    pvals = npleg.legval(pts, coeffs)
+    wts = 2.0 / (n * (n - 1) * pvals**2)
+    pts.setflags(write=False)
+    wts.setflags(write=False)
+    return pts, wts
+
+
+def gll_points(n: int) -> np.ndarray:
+    """The ``n`` GLL nodes on [-1, 1] (read-only array)."""
+    return _gll_points_weights(n)[0]
+
+
+def gll_weights(n: int) -> np.ndarray:
+    """The ``n`` GLL quadrature weights (read-only array; sums to 2)."""
+    return _gll_points_weights(n)[1]
+
+
+@lru_cache(maxsize=None)
+def derivative_matrix(n: int) -> np.ndarray:
+    """The spectral derivative matrix D with D[i, j] = l_j'(x_i).
+
+    ``(D @ f)`` evaluates the derivative of the degree-(n-1) interpolant
+    of nodal values ``f`` at the nodes.  Exact for polynomials of degree
+    <= n-1.
+    """
+    x = gll_points(n)
+    # Barycentric weights.
+    diff = x[:, None] - x[None, :]
+    np.fill_diagonal(diff, 1.0)
+    bary = 1.0 / np.prod(diff, axis=1)
+    # Off-diagonal: D_ij = (w_j / w_i) / (x_i - x_j).
+    D = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                D[i, j] = (bary[j] / bary[i]) / (x[i] - x[j])
+    # Diagonal: negative row sum (derivative of constants is zero).
+    np.fill_diagonal(D, -D.sum(axis=1))
+    D.setflags(write=False)
+    return D
+
+
+def lagrange_basis(n: int, xi: np.ndarray) -> np.ndarray:
+    """Evaluate the n GLL Lagrange basis functions at points ``xi``.
+
+    Returns an array of shape (len(xi), n): row k holds l_0..l_{n-1} at
+    xi[k].  Used for interpolating element fields to arbitrary points
+    (vortex tracking, validation plots).
+    """
+    x = gll_points(n)
+    xi = np.atleast_1d(np.asarray(xi, dtype=np.float64))
+    out = np.ones((xi.size, n))
+    for j in range(n):
+        for m in range(n):
+            if m != j:
+                out[:, j] *= (xi - x[m]) / (x[j] - x[m])
+    return out

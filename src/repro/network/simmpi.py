@@ -1,0 +1,196 @@
+"""SimMPI: a single-process, simulated-time MPI for the reproduction.
+
+Every rank has its own :class:`~repro.utils.timing.SimClock`.  Messages
+really carry numpy payloads between ranks (the dycore's halo exchange is
+functional), and each message is stamped with an *arrival time* computed
+from the sender's clock plus the :class:`NetworkCostModel` transfer time.
+A receiver that waits on a message advances its clock to
+``max(receiver_now, arrival)`` — which is exactly what permits
+computation/communication overlap: compute charged between ``isend`` and
+``wait`` hides transfer time, reproducing the redesigned
+``bndry_exchangev`` behaviour (paper Section 7.6).
+
+Because all ranks execute inside one Python process, drivers iterate
+ranks in phases (all sends posted, then receives completed) — the natural
+structure of a halo exchange.  ``wait`` on a receive whose matching send
+has not been posted raises :class:`SimMPIError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import SimMPIError
+from ..utils.timing import SimClock
+from .costmodel import NetworkCostModel
+from .topology import TaihuLightTopology
+
+
+@dataclass
+class SimRequest:
+    """Handle for a non-blocking operation."""
+
+    kind: str                    # "send" | "recv"
+    rank: int                    # owning rank
+    peer: int
+    tag: int
+    completion_time: float | None = None
+    payload: np.ndarray | None = None
+    done: bool = False
+
+
+@dataclass
+class _Message:
+    src: int
+    dst: int
+    tag: int
+    payload: np.ndarray
+    arrival: float
+
+
+class SimMPI:
+    """A simulated communicator over ``nranks`` ranks."""
+
+    def __init__(
+        self,
+        nranks: int,
+        cost: NetworkCostModel | None = None,
+    ) -> None:
+        if nranks < 1:
+            raise SimMPIError(f"nranks must be >= 1, got {nranks}")
+        if cost is None:
+            nodes = max(1, -(-nranks // 4))
+            cost = NetworkCostModel(TaihuLightTopology(nodes=nodes))
+        if nranks > cost.topology.max_ranks:
+            raise SimMPIError(
+                f"{nranks} ranks exceed topology capacity {cost.topology.max_ranks}"
+            )
+        self.nranks = nranks
+        self.cost = cost
+        self._clocks = [SimClock() for _ in range(nranks)]
+        self._mailbox: dict[tuple[int, int, int], deque[_Message]] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.comm_seconds = [0.0] * nranks  # time visibly spent waiting
+
+    # -- clocks ------------------------------------------------------------
+
+    def clock(self, rank: int) -> SimClock:
+        """The simulated clock of ``rank``."""
+        self._check_rank(rank)
+        return self._clocks[rank]
+
+    def now(self, rank: int) -> float:
+        """Current simulated time at ``rank``."""
+        return self.clock(rank).now
+
+    def compute(self, rank: int, seconds: float) -> None:
+        """Charge ``seconds`` of computation to ``rank``'s clock."""
+        self.clock(rank).advance(seconds)
+
+    def max_time(self) -> float:
+        """Simulated completion time of the whole job (slowest rank)."""
+        return max(c.now for c in self._clocks)
+
+    # -- point to point -------------------------------------------------------
+
+    def isend(self, src: int, dst: int, payload: np.ndarray, tag: int = 0) -> SimRequest:
+        """Post a non-blocking send.  The payload is copied at post time.
+
+        The send itself is near-free on the sender (the MPE drives the
+        NIC); transfer time is charged to the message's arrival stamp.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.asarray(payload)
+        t_send = self._clocks[src].now
+        transfer = self.cost.p2p_time(src, dst, payload.nbytes)
+        msg = _Message(src, dst, tag, payload.copy(), t_send + transfer)
+        self._mailbox.setdefault((src, dst, tag), deque()).append(msg)
+        self.messages_sent += 1
+        self.bytes_sent += payload.nbytes
+        return SimRequest("send", src, dst, tag, completion_time=t_send, done=True)
+
+    def irecv(self, dst: int, src: int, tag: int = 0) -> SimRequest:
+        """Post a non-blocking receive (completion resolved at wait)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        return SimRequest("recv", dst, src, tag)
+
+    def wait(self, req: SimRequest) -> np.ndarray | None:
+        """Complete a request, advancing the owner's clock as needed."""
+        if req.done and req.kind == "recv":
+            raise SimMPIError("wait called twice on the same receive request")
+        if req.kind == "send":
+            return None
+        key = (req.peer, req.rank, req.tag)
+        q = self._mailbox.get(key)
+        if not q:
+            raise SimMPIError(
+                f"rank {req.rank} waits on message from {req.peer} tag {req.tag}, "
+                "but no matching send was posted"
+            )
+        msg = q.popleft()
+        clock = self._clocks[req.rank]
+        waited = max(0.0, msg.arrival - clock.now)
+        self.comm_seconds[req.rank] += waited
+        clock.advance_to(msg.arrival)
+        req.done = True
+        req.completion_time = clock.now
+        req.payload = msg.payload
+        return msg.payload
+
+    def waitall(self, reqs: list[SimRequest]) -> list[np.ndarray | None]:
+        """Complete a list of requests in order."""
+        return [self.wait(r) for r in reqs]
+
+    # -- collectives ---------------------------------------------------------------
+
+    def allreduce(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Sum-allreduce over all ranks.
+
+        ``contributions[r]`` is rank r's array.  All clocks advance to the
+        same completion time: the slowest participant plus the modeled
+        collective time.
+        """
+        if len(contributions) != self.nranks:
+            raise SimMPIError(
+                f"allreduce needs one contribution per rank "
+                f"({self.nranks}), got {len(contributions)}"
+            )
+        arrays = [np.asarray(c, dtype=np.float64) for c in contributions]
+        shape = arrays[0].shape
+        for a in arrays[1:]:
+            if a.shape != shape:
+                raise SimMPIError("allreduce contributions must share a shape")
+        total = np.sum(arrays, axis=0)
+        start = max(c.now for c in self._clocks)
+        t = start + self.cost.allreduce_time(self.nranks, total.nbytes)
+        for r, c in enumerate(self._clocks):
+            self.comm_seconds[r] += max(0.0, t - c.now)
+            c.advance_to(t)
+        return total
+
+    def barrier(self) -> float:
+        """Synchronize all clocks; returns the post-barrier time."""
+        start = max(c.now for c in self._clocks)
+        t = start + self.cost.barrier_time(self.nranks)
+        for r, c in enumerate(self._clocks):
+            self.comm_seconds[r] += max(0.0, t - c.now)
+            c.advance_to(t)
+        return t
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise SimMPIError(f"rank {rank} outside 0..{self.nranks - 1}")
+
+    def pending_messages(self) -> int:
+        """Messages posted but not yet received (should be 0 after a step)."""
+        return sum(len(q) for q in self._mailbox.values())

@@ -1,0 +1,79 @@
+"""The two-level TaihuLight network topology.
+
+40,960 nodes are organized into supernodes of 256 nodes each; nodes in a
+supernode are fully connected through a customized network board, while
+traffic between supernodes traverses central switches (paper Section
+5.1).  For process placement, consecutive MPI ranks map to consecutive
+CGs, four per node, filling supernodes in order — the standard TaihuLight
+job-launch layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants as C
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class TaihuLightTopology:
+    """Node/supernode layout and rank placement.
+
+    Parameters
+    ----------
+    nodes:
+        Total nodes in the allocation (up to 40,960 for the full machine).
+    nodes_per_supernode:
+        256 on the real machine.
+    ranks_per_node:
+        4 (one rank per core group) in all of the paper's experiments.
+    """
+
+    nodes: int = C.TAIHULIGHT_NODES
+    nodes_per_supernode: int = C.TAIHULIGHT_NODES_PER_SUPERNODE
+    ranks_per_node: int = C.SW_CORE_GROUPS
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise TopologyError(f"nodes must be >= 1, got {self.nodes}")
+        if self.nodes_per_supernode < 1:
+            raise TopologyError("nodes_per_supernode must be >= 1")
+        if self.ranks_per_node < 1:
+            raise TopologyError("ranks_per_node must be >= 1")
+
+    @property
+    def max_ranks(self) -> int:
+        """Ranks the allocation can host."""
+        return self.nodes * self.ranks_per_node
+
+    @property
+    def supernodes(self) -> int:
+        """Supernodes spanned by the allocation (ceiling)."""
+        return -(-self.nodes // self.nodes_per_supernode)
+
+    def node_of_rank(self, rank: int) -> int:
+        """The node hosting ``rank`` (consecutive placement)."""
+        if not (0 <= rank < self.max_ranks):
+            raise TopologyError(f"rank {rank} outside 0..{self.max_ranks - 1}")
+        return rank // self.ranks_per_node
+
+    def supernode_of_rank(self, rank: int) -> int:
+        """The supernode hosting ``rank``."""
+        return self.node_of_rank(rank) // self.nodes_per_supernode
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two ranks share a node (shared-memory path)."""
+        return self.node_of_rank(a) == self.node_of_rank(b)
+
+    def same_supernode(self, a: int, b: int) -> bool:
+        """Whether two ranks share a supernode (network-board path)."""
+        return self.supernode_of_rank(a) == self.supernode_of_rank(b)
+
+    def hops(self, a: int, b: int) -> int:
+        """Abstract hop count: 0 on-node, 1 in-supernode, 2 via switch."""
+        if self.same_node(a, b):
+            return 0
+        if self.same_supernode(a, b):
+            return 1
+        return 2

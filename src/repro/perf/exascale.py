@@ -1,0 +1,115 @@
+"""Exascale projection: the paper's Section 10 discussion, made runnable.
+
+The paper closes by arguing that its redesign methodology transfers to
+"the soon-arriving Exa-scale supercomputers".  This module projects the
+calibrated CAM-SE models onto hypothetical successor machines: scale
+the SW26010's compute, bandwidth, and scratchpad; scale the network;
+and re-evaluate the same step-time model.  The projections make the
+paper's qualitative warnings quantitative:
+
+- compute grows faster than bandwidth, so the roofline ridge moves
+  right and the traffic-minimizing redesign matters *more*;
+- fixed-size (strong-scaled) climate problems hit the serial floor, so
+  SYPD saturates even on a 10x machine — the "simulation speed wall"
+  the climate community worries about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sunway.spec import SW26010Spec, DEFAULT_SPEC
+from .scaling import HommePerfModel
+
+#: A plausible exascale successor recipe (vendor roadmap shape):
+#: compute x12 per chip, bandwidth x4 (HBM), LDM x4, same network alpha,
+#: link bandwidth x4.
+EXA_COMPUTE_FACTOR = 12.0
+EXA_BANDWIDTH_FACTOR = 4.0
+EXA_LDM_FACTOR = 4.0
+
+
+def exascale_spec(
+    compute: float = EXA_COMPUTE_FACTOR,
+    bandwidth: float = EXA_BANDWIDTH_FACTOR,
+    ldm: float = EXA_LDM_FACTOR,
+    base: SW26010Spec = DEFAULT_SPEC,
+) -> SW26010Spec:
+    """A scaled successor of the SW26010."""
+    if compute <= 0 or bandwidth <= 0 or ldm <= 0:
+        raise ValueError("scale factors must be positive")
+    return replace(
+        base,
+        clock_hz=base.clock_hz * compute ** 0.25,       # modest clock bump
+        flops_per_cycle=max(1, int(round(base.flops_per_cycle * compute ** 0.75))),
+        memory_bandwidth=base.memory_bandwidth * bandwidth,
+        ldm_bytes=int(base.ldm_bytes * ldm),
+    )
+
+
+@dataclass(frozen=True)
+class ExascaleProjection:
+    """Today-vs-successor comparison for one configuration."""
+
+    ne: int
+    nproc: int
+    today_pflops: float
+    exa_pflops: float
+    today_sypd: float
+    exa_sypd: float
+
+    @property
+    def pflops_gain(self) -> float:
+        return self.exa_pflops / self.today_pflops
+
+    @property
+    def sypd_gain(self) -> float:
+        return self.exa_sypd / self.today_sypd
+
+
+def project(
+    ne: int,
+    nproc: int,
+    compute: float = EXA_COMPUTE_FACTOR,
+    bandwidth: float = EXA_BANDWIDTH_FACTOR,
+) -> ExascaleProjection:
+    """Project one HOMME configuration onto the successor machine.
+
+    The projection reuses the calibrated step-time model with the chip
+    roofline scaled; serial floors and network latency stay (they are
+    the part hardware roadmaps do not fix).
+    """
+    today = HommePerfModel(ne, nproc)
+    spec = exascale_spec(compute, bandwidth)
+    exa = HommePerfModel(ne, nproc)
+    # Rescale the kernel term by the successor roofline: the calibrated
+    # mix is bandwidth-bound, so it accelerates by ~the bandwidth factor
+    # with a compute-bound cap.
+    kf = min(bandwidth, compute)
+    exa._kernel_seconds = today._kernel_seconds / kf
+    return ExascaleProjection(
+        ne=ne,
+        nproc=nproc,
+        today_pflops=today.pflops,
+        exa_pflops=exa.pflops,
+        today_sypd=today.sypd(),
+        exa_sypd=exa.sypd(),
+    )
+
+
+def speed_wall_analysis(ne: int = 1024, nproc: int = 131072) -> dict[str, float]:
+    """How much of the step survives a 100x chip? (the paper's warning)
+
+    Returns the limiting fractions: with infinitely fast chips, step
+    time collapses to the serial floor + communication — the hard wall
+    for time-to-solution.
+    """
+    m = HommePerfModel(ne, nproc)
+    total = m.step_seconds
+    irreducible = (m.step_seconds - m.compute_seconds * m.jitter_factor)
+    return {
+        "step_seconds": total,
+        "compute_fraction": m.compute_seconds * m.jitter_factor / total,
+        "irreducible_seconds": irreducible,
+        "max_speedup_infinite_chip": total / max(irreducible, 1e-12),
+    }

@@ -1,0 +1,90 @@
+"""Paper-vs-measured comparison records.
+
+Every experiment driver emits :class:`ExperimentRecord` rows; the
+benchmark harness renders them and EXPERIMENTS.md archives them.  A
+record carries the *shape criterion* it is judged by (ordering, ratio
+band, efficiency band) rather than absolute agreement, per the
+reproduction policy in DESIGN.md Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.tables import render_table
+
+
+@dataclass
+class ExperimentRecord:
+    """One paper-vs-measured comparison."""
+
+    experiment: str          # "table1", "figure7", ...
+    quantity: str            # "euler_step openacc seconds", "SYPD ne30", ...
+    paper_value: float
+    measured_value: float
+    criterion: str = "ratio"  # free-text description of the shape check
+    tolerance: float = 0.5    # |measured/paper - 1| bound for "pass"
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf")
+        return self.measured_value / self.paper_value
+
+    @property
+    def passed(self) -> bool:
+        if self.paper_value == 0:
+            # Absolute criterion: measured must be within tolerance of 0.
+            return abs(self.measured_value) <= self.tolerance
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+
+class ComparisonTable:
+    """A collection of records with rendering and summary helpers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: list[ExperimentRecord] = []
+
+    def add(
+        self,
+        quantity: str,
+        paper: float,
+        measured: float,
+        criterion: str = "ratio",
+        tolerance: float = 0.5,
+    ) -> ExperimentRecord:
+        rec = ExperimentRecord(self.name, quantity, paper, measured, criterion, tolerance)
+        self.records.append(rec)
+        return rec
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.records)
+
+    def render(self) -> str:
+        rows = [
+            [r.quantity, r.paper_value, r.measured_value, f"{r.ratio:.2f}",
+             "pass" if r.passed else "MISS"]
+            for r in self.records
+        ]
+        return render_table(
+            ["quantity", "paper", "measured", "ratio", "verdict"],
+            rows,
+            title=f"{self.name}: paper vs measured",
+        )
+
+    def markdown(self) -> str:
+        """Markdown table for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.name}",
+            "",
+            "| quantity | paper | measured | ratio | verdict |",
+            "|---|---|---|---|---|",
+        ]
+        for r in self.records:
+            lines.append(
+                f"| {r.quantity} | {r.paper_value:.4g} | {r.measured_value:.4g} "
+                f"| {r.ratio:.2f} | {'pass' if r.passed else 'MISS'} |"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Simulated-years-per-day arithmetic (paper Section 8.1.2).
+
+The paper measures the wall time per simulated day t_D (found stable
+across runs) and reports SYPD = 86400 / (t_D * 365).
+"""
+
+from __future__ import annotations
+
+from .. import constants as C
+
+
+def sypd_from_day_time(t_day_seconds: float) -> float:
+    """SYPD from the wall seconds per simulated day."""
+    if t_day_seconds <= 0:
+        raise ValueError("t_day must be positive")
+    return C.SECONDS_PER_DAY / (t_day_seconds * C.DAYS_PER_YEAR)
+
+
+def sypd_from_step_time(step_seconds: float, dt_seconds: float) -> float:
+    """SYPD from per-step wall time and the model timestep."""
+    if step_seconds <= 0 or dt_seconds <= 0:
+        raise ValueError("times must be positive")
+    steps_per_day = C.SECONDS_PER_DAY / dt_seconds
+    return sypd_from_day_time(step_seconds * steps_per_day)
+
+
+def step_time_for_sypd(sypd: float, dt_seconds: float) -> float:
+    """Inverse: the per-step wall time that yields a target SYPD."""
+    if sypd <= 0 or dt_seconds <= 0:
+        raise ValueError("inputs must be positive")
+    t_day = C.SECONDS_PER_DAY / (sypd * C.DAYS_PER_YEAR)
+    return t_day / (C.SECONDS_PER_DAY / dt_seconds)

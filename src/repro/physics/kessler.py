@@ -1,0 +1,90 @@
+"""Kessler warm-rain microphysics (simplified, column-vectorized).
+
+Three water species as tracers: vapour (qv), cloud water (qc), rain
+(qr).  Processes: saturation adjustment (condensation/evaporation of
+cloud), autoconversion and accretion of cloud to rain, rain evaporation
+in subsaturated air, and instantaneous sedimentation of rain to the
+surface (precipitation).  Latent heat feeds back on temperature.
+
+This is the classic scheme GPU ports in the literature target (the
+paper cites WRF's Kessler CUDA port, 70x); here it serves as the "heavy
+column microphysics" workload of the physics phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as C
+
+#: Autoconversion threshold [kg/kg] and rate [1/s].
+QC_THRESHOLD = 1.0e-3
+AUTOCONV_RATE = 1.0e-3
+#: Accretion rate coefficient [1/s per unit qr^0.875] (simplified linear).
+ACCRETION_RATE = 2.2
+#: Rain evaporation rate coefficient [1/s].
+RAIN_EVAP_RATE = 1.0e-4
+
+
+def saturation_vapor_pressure(T: np.ndarray) -> np.ndarray:
+    """Tetens formula over liquid water [Pa]."""
+    return 610.78 * np.exp(17.27 * (T - 273.15) / (T - 35.85))
+
+
+def saturation_mixing_ratio(T: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Saturation mixing ratio qvs = eps e_s / (p - e_s)."""
+    es = np.minimum(saturation_vapor_pressure(T), 0.99 * p)
+    eps = C.R_DRY / C.R_VAPOR
+    return eps * es / (p - es)
+
+
+def kessler_step(
+    T: np.ndarray,
+    qv: np.ndarray,
+    qc: np.ndarray,
+    qr: np.ndarray,
+    p: np.ndarray,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One Kessler microphysics step.
+
+    All inputs share a shape (columns x levels in any layout); returns
+    updated (T, qv, qc, qr) plus the precipitation mass removed
+    (``precip``, same shape, in mixing-ratio units) for diagnostics.
+    """
+    T = T.copy()
+    qv = np.clip(qv, 0.0, None).copy()
+    qc = np.clip(qc, 0.0, None).copy()
+    qr = np.clip(qr, 0.0, None).copy()
+    lv_cp = C.LATENT_HEAT_VAP / C.CP_DRY
+
+    # 1. Saturation adjustment (single Newton step on the linearized
+    # Clausius-Clapeyron balance, the standard Kessler simplification).
+    qvs = saturation_mixing_ratio(T, p)
+    dqsdT = qvs * 17.27 * (273.15 - 35.85) / (T - 35.85) ** 2
+    excess = (qv - qvs) / (1.0 + lv_cp * dqsdT)
+    cond = np.clip(excess, -qc, qv)  # condense at most qv, evaporate at most qc
+    qv -= cond
+    qc += cond
+    T += lv_cp * cond
+
+    # 2. Autoconversion: cloud above threshold converts to rain.
+    auto = AUTOCONV_RATE * dt * np.clip(qc - QC_THRESHOLD, 0.0, None)
+    # 3. Accretion: rain collects cloud.
+    accr = ACCRETION_RATE * dt * qc * qr
+    to_rain = np.minimum(auto + accr, qc)
+    qc -= to_rain
+    qr += to_rain
+
+    # 4. Rain evaporation in subsaturated air.
+    qvs = saturation_mixing_ratio(T, p)
+    subsat = np.clip(qvs - qv, 0.0, None)
+    evap = np.minimum(RAIN_EVAP_RATE * dt * subsat * np.sqrt(np.clip(qr, 0, None) + 1e-12) * 1e3, qr)
+    qr -= evap
+    qv += evap
+    T -= lv_cp * evap
+
+    # 5. Instantaneous fallout: rain leaves the column as precipitation.
+    precip = qr.copy()
+    qr[:] = 0.0
+    return T, qv, qc, qr, precip

@@ -1,0 +1,117 @@
+"""An Athread-style programming interface over the simulated cluster.
+
+The real Athread library (paper Section 5.3) exposes spawn/join over
+the 64 CPEs plus synchronization; OpenACC compiles down to it.  This
+module provides the same shape against :class:`~repro.sunway.core_group.CoreGroup`:
+
+    rt = AthreadRuntime(CoreGroup())
+    results = rt.spawn(kernel_fn, payload)   # fn(ctx, payload) per CPE
+    elapsed = rt.join()                      # slowest-CPE seconds
+
+Kernel functions receive a :class:`CPEContext` with the CPE's mesh
+coordinates, its LDM/DMA/vector units, and helpers for row/column
+barriers — enough to write the paper's kernels "natively" against the
+simulator (see the tests for a 64-CPE element-parallel example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import KernelError
+from .core_group import CoreGroup
+from .cpe import CPE
+
+#: Cycles for a full-cluster synchronization (athread_syn ~ hundreds).
+SYNC_CYCLES = 260.0
+
+
+@dataclass
+class CPEContext:
+    """What a spawned kernel sees on its CPE."""
+
+    cpe: CPE
+    row: int
+    col: int
+    cpe_id: int
+    n_cpes: int
+
+    @property
+    def ldm(self):
+        return self.cpe.ldm
+
+    @property
+    def dma(self):
+        return self.cpe.dma
+
+    @property
+    def vector(self):
+        return self.cpe.vector
+
+    def my_slice(self, n_items: int) -> range:
+        """Block-cyclic ownership of ``n_items`` work units."""
+        return range(self.cpe_id, n_items, self.n_cpes)
+
+
+class AthreadRuntime:
+    """spawn/join over one core group's CPE cluster."""
+
+    def __init__(self, cg: CoreGroup | None = None) -> None:
+        self.cg = cg or CoreGroup()
+        self._spawned = False
+        self._results: list[Any] = []
+        self.spawn_count = 0
+        self.sync_count = 0
+
+    def spawn(
+        self, fn: Callable[[CPEContext, Any], Any], payload: Any = None
+    ) -> "AthreadRuntime":
+        """Run ``fn`` on every CPE (simulated concurrently).
+
+        Each CPE's work is executed with its own context; per-CPE cycle
+        counters accumulate independently, so :meth:`join` can report
+        the cluster's critical path.
+        """
+        if self._spawned:
+            raise KernelError("previous spawn not joined (athread_join missing)")
+        spec = self.cg.spec
+        self._results = []
+        for cid, cpe in enumerate(self.cg.cpes):
+            ctx = CPEContext(
+                cpe=cpe,
+                row=cpe.row,
+                col=cpe.col,
+                cpe_id=cid,
+                n_cpes=self.cg.n_cpes,
+            )
+            self._results.append(fn(ctx, payload))
+        self._spawned = True
+        self.spawn_count += 1
+        return self
+
+    def join(self, vector_efficiency: float = 1.0) -> float:
+        """Wait for the cluster; returns the slowest CPE's seconds."""
+        if not self._spawned:
+            raise KernelError("join without spawn")
+        self._spawned = False
+        slowest = max(
+            cpe.total_cycles(vector_efficiency) for cpe in self.cg.cpes
+        )
+        return self.cg.spec.cycles_to_seconds(slowest)
+
+    def results(self) -> list[Any]:
+        """Per-CPE return values of the last spawn."""
+        return list(self._results)
+
+    def sync(self) -> None:
+        """Full-cluster barrier: every CPE pays the sync cost."""
+        for cpe in self.cg.cpes:
+            cpe.charge_scalar(SYNC_CYCLES)
+        self.sync_count += 1
+
+    def reset(self) -> None:
+        """Clear all CPE counters (between kernels)."""
+        self.cg.reset()
+        self._spawned = False
+        self._results = []

@@ -1,0 +1,106 @@
+"""One core group (CG): an MPE, an 8x8 CPE cluster, a memory controller.
+
+On TaihuLight, "each CG corresponds to one MPI process" (paper Section
+5.3); the backends execute one rank's kernel work on one
+:class:`CoreGroup`.  The CG aggregates CPE cycle/traffic counters into
+:class:`~repro.sunway.perf.PerfCounters`, enforces the shared memory
+channel (all 64 CPEs divide ~33 GB/s), and models the MPE as the
+management core that drives MPI and runs serial sections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants as C
+from .cpe import CPE
+from .perf import PerfCounters
+from .regcomm import CPEMeshComm
+from .spec import SW26010Spec, DEFAULT_SPEC
+
+
+class CoreGroup:
+    """One MPE + one CPE cluster sharing a memory controller."""
+
+    def __init__(self, cg_id: int = 0, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.cg_id = cg_id
+        self.spec = spec
+        self.cpes = [
+            CPE(r, c, spec)
+            for r in range(spec.cpe_rows)
+            for c in range(spec.cpe_cols)
+        ]
+        self.mesh = CPEMeshComm(spec)
+        self.mpe_cycles = 0.0
+
+    # -- lookup ------------------------------------------------------------
+
+    def cpe(self, row: int, col: int) -> CPE:
+        """The CPE at mesh position (row, col)."""
+        return self.cpes[row * self.spec.cpe_cols + col]
+
+    @property
+    def n_cpes(self) -> int:
+        return len(self.cpes)
+
+    # -- MPE model -----------------------------------------------------------
+
+    def mpe_scalar_seconds(self, flops: float) -> float:
+        """Seconds for the MPE to execute ``flops`` of scalar work.
+
+        The MPE is a full RISC core but much weaker than a Xeon core for
+        numerics; Table 1 shows MPE-only kernels 2-10x slower than one
+        Intel core.  We model it as a fraction of the Intel core's
+        *achieved* kernel rate.
+        """
+        intel_rate = C.INTEL_CORE_PEAK_FLOPS * C.INTEL_KERNEL_EFFICIENCY
+        mpe_rate = intel_rate * C.SW_MPE_RELATIVE_SCALAR_SPEED
+        return flops / mpe_rate
+
+    def charge_mpe(self, seconds: float) -> None:
+        """Charge seconds of MPE time (serial sections, MPI driving)."""
+        if seconds < 0:
+            raise ValueError("seconds cannot be negative")
+        self.mpe_cycles += seconds * self.spec.clock_hz
+
+    # -- aggregation -----------------------------------------------------------
+
+    def collect(self, vector_efficiency: float = 1.0) -> PerfCounters:
+        """Aggregate all CPE counters into one CG-level PERF snapshot.
+
+        ``cycles`` is the *slowest CPE's* busy time (the cluster advances
+        at the pace of its critical lane), plus MPE time and mesh
+        communication time.
+        """
+        perf = PerfCounters()
+        slowest = 0.0
+        for cpe in self.cpes:
+            perf.dp_flops += cpe.vector.flops
+            perf.vector_instructions += cpe.vector.instructions
+            perf.dma_bytes_get += cpe.dma.bytes_get
+            perf.dma_bytes_put += cpe.dma.bytes_put
+            perf.ldm_high_water = max(perf.ldm_high_water, cpe.ldm.high_water)
+            slowest = max(slowest, cpe.total_cycles(vector_efficiency))
+        perf.regcomm_transfers = self.mesh.transfer_count
+        perf.cycles = slowest + self.mpe_cycles + self.mesh.total_cycles
+        return perf
+
+    def elapsed_seconds(self, vector_efficiency: float = 1.0) -> float:
+        """Wall time of the CG's work so far, at the CPE clock."""
+        return self.collect(vector_efficiency).cycles / self.spec.clock_hz
+
+    def bandwidth_bound_seconds(self, bytes_moved: float) -> float:
+        """Lower bound on time from the shared memory channel alone.
+
+        This is the paper's "projected performance upper bound based on
+        the memory capacities (assuming bandwidth as the major
+        constraint)" applied to one CG.
+        """
+        return bytes_moved / self.spec.cg_memory_bandwidth
+
+    def reset(self) -> None:
+        """Clear all CPE and mesh state."""
+        for cpe in self.cpes:
+            cpe.reset()
+        self.mesh = CPEMeshComm(self.spec)
+        self.mpe_cycles = 0.0

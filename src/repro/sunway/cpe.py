@@ -1,0 +1,68 @@
+"""One computing processing element (CPE): LDM + DMA + vector unit.
+
+A CPE is a user-mode-only RISC core.  In this simulator it owns a
+scratchpad (:class:`~repro.sunway.ldm.LDM`), a DMA engine, and a vector
+unit, and knows its (row, col) position on the 8x8 mesh for register
+communication.
+"""
+
+from __future__ import annotations
+
+from .dma import DMAEngine
+from .ldm import LDM
+from .spec import SW26010Spec, DEFAULT_SPEC
+from .vector import VectorUnit
+
+
+class CPE:
+    """A single computing processing element."""
+
+    def __init__(
+        self,
+        row: int,
+        col: int,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        dma_bandwidth_share: float | None = None,
+    ) -> None:
+        if not (0 <= row < spec.cpe_rows and 0 <= col < spec.cpe_cols):
+            raise ValueError(f"CPE coordinate ({row},{col}) outside mesh")
+        self.row = row
+        self.col = col
+        self.spec = spec
+        self.ldm = LDM(spec.ldm_bytes)
+        share = dma_bandwidth_share
+        if share is None:
+            share = 1.0 / (spec.cpe_rows * spec.cpe_cols)
+        self.dma = DMAEngine(spec, bandwidth_share=share)
+        self.vector = VectorUnit(spec)
+        self.scalar_cycles = 0.0
+
+    @property
+    def coord(self) -> tuple[int, int]:
+        """(row, col) position on the CPE mesh."""
+        return (self.row, self.col)
+
+    def charge_scalar(self, cycles: float) -> None:
+        """Charge non-vector (scalar pipeline) cycles."""
+        if cycles < 0:
+            raise ValueError("cycles cannot be negative")
+        self.scalar_cycles += cycles
+
+    def total_cycles(self, vector_efficiency: float = 1.0) -> float:
+        """All cycles this CPE has accumulated: compute + DMA + scalar.
+
+        DMA cycles recorded through double buffering already reflect
+        overlap, so a straight sum is the CPE's busy time.
+        """
+        return (
+            self.vector.cycles(vector_efficiency)
+            + self.dma.total_cycles
+            + self.scalar_cycles
+        )
+
+    def reset(self) -> None:
+        """Clear all state and counters (between kernel invocations)."""
+        self.ldm.reset()
+        self.dma.reset_counters()
+        self.vector.reset()
+        self.scalar_cycles = 0.0

@@ -1,0 +1,161 @@
+"""The CPE Local Data Memory (LDM): a 64 KB user-managed scratchpad.
+
+The paper's central memory-management problem is fitting kernel working
+sets into this 64 KB buffer ("the cache is replaced by a user-controlled
+scratchpad memory").  The allocator enforces capacity exactly: any tiling
+plan produced by :mod:`repro.core.tiling` must allocate successfully here
+or the plan is invalid.
+
+Allocation is a simple first-fit free-list over a byte range — the same
+discipline Athread programmers use when laying out LDM manually — with a
+high-water mark so tests can assert peak usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LDMAllocationError, LDMOverflowError
+
+
+@dataclass
+class LDMBlock:
+    """A live allocation in the scratchpad.
+
+    ``data`` is a real numpy buffer so functional kernels can stage values
+    through the LDM exactly the way DMA'd tiles are used on hardware.
+    """
+
+    offset: int
+    size: int
+    label: str
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._freed = False
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+
+class LDM:
+    """First-fit scratchpad allocator with exact capacity enforcement."""
+
+    def __init__(self, capacity: int = 64 * 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("LDM capacity must be positive")
+        self.capacity = capacity
+        self._free: list[tuple[int, int]] = [(0, capacity)]  # (offset, size)
+        self._blocks: dict[int, LDMBlock] = {}
+        self._used = 0
+        self._high_water = 0
+        self._alloc_count = 0
+        self._array_blocks: dict[int, LDMBlock] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free (may be fragmented)."""
+        return self.capacity - self._used
+
+    @property
+    def high_water(self) -> int:
+        """Peak bytes ever simultaneously allocated."""
+        return self._high_water
+
+    @property
+    def largest_free_block(self) -> int:
+        """Largest single free extent (limits the next allocation)."""
+        return max((s for _, s in self._free), default=0)
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return nbytes <= self.largest_free_block
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, nbytes: int, label: str = "") -> LDMBlock:
+        """Allocate ``nbytes``; raises :class:`LDMOverflowError` if it
+        does not fit in any free extent."""
+        if nbytes <= 0:
+            raise LDMAllocationError(f"allocation size must be positive, got {nbytes}")
+        # 32-byte alignment: vector loads require it on SW26010.
+        aligned = (nbytes + 31) & ~31
+        for i, (off, size) in enumerate(self._free):
+            if size >= aligned:
+                if size == aligned:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + aligned, size - aligned)
+                block = LDMBlock(off, aligned, label, np.zeros(aligned, dtype=np.uint8))
+                self._blocks[off] = block
+                self._used += aligned
+                self._high_water = max(self._high_water, self._used)
+                self._alloc_count += 1
+                return block
+        raise LDMOverflowError(aligned, self.largest_free_block, label)
+
+    def alloc_array(
+        self, shape: tuple[int, ...] | int, dtype=np.float64, label: str = ""
+    ) -> np.ndarray:
+        """Allocate an ndarray view backed by scratchpad bytes.
+
+        The returned array carries its block via ``arr.base``-independent
+        bookkeeping: use :meth:`free_array` to release it.
+        """
+        shape_t = (shape,) if isinstance(shape, int) else tuple(shape)
+        nbytes = int(np.prod(shape_t)) * np.dtype(dtype).itemsize
+        block = self.alloc(nbytes, label)
+        arr = block.data[:nbytes].view(dtype).reshape(shape_t)
+        self._array_blocks[id(arr)] = block
+        return arr
+
+    def free(self, block: LDMBlock) -> None:
+        """Release a block; raises on double free."""
+        if block.offset not in self._blocks or self._blocks[block.offset] is not block:
+            raise LDMAllocationError(f"unknown or already freed block {block.label!r}")
+        if block.freed:
+            raise LDMAllocationError(f"double free of block {block.label!r}")
+        block._freed = True
+        del self._blocks[block.offset]
+        self._used -= block.size
+        self._insert_free(block.offset, block.size)
+
+    def free_array(self, arr: np.ndarray) -> None:
+        """Release an array obtained from :meth:`alloc_array`."""
+        block = self._array_blocks.pop(id(arr), None)
+        if block is None:
+            raise LDMAllocationError("array was not allocated from this LDM")
+        self.free(block)
+
+    def reset(self) -> None:
+        """Free everything (end of a kernel invocation)."""
+        self._free = [(0, self.capacity)]
+        for b in self._blocks.values():
+            b._freed = True
+        self._blocks.clear()
+        self._array_blocks.clear()
+        self._used = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        """Insert a free extent, coalescing with neighbours."""
+        self._free.append((offset, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + sz)
+            else:
+                merged.append((off, sz))
+        self._free = merged

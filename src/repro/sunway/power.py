@@ -1,0 +1,94 @@
+"""Power and energy model for TaihuLight runs.
+
+The paper highlights the machine's 6.06 GFlops/W system efficiency
+(Section 5.1) and the SW26010's 10 GFlops/W chip efficiency (Section
+5.2).  This module converts simulated runs into energy figures so
+experiments can report "science per megawatt" — the quantity Exascale
+procurement actually optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants as C
+from .spec import SW26010Spec, DEFAULT_SPEC
+
+#: Whole-system power of TaihuLight under load [W] (15.37 MW Linpack).
+TAIHULIGHT_SYSTEM_POWER = 15.37e6
+
+#: One SW26010 processor's TDP [W] (~3 TFlops at 10 GFlops/W).
+PROCESSOR_POWER = 310.0
+
+#: Node overhead beyond the processor (memory, board, share of
+#: cooling/network) [W]: system power / 40,960 nodes - processor.
+NODE_OVERHEAD_POWER = TAIHULIGHT_SYSTEM_POWER / C.TAIHULIGHT_NODES - PROCESSOR_POWER
+
+#: Idle fraction: power draw of an idle-but-allocated node relative to load.
+IDLE_FRACTION = 0.55
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one run."""
+
+    nodes: int
+    seconds: float
+    flops: float
+    joules: float
+
+    @property
+    def megawatts(self) -> float:
+        return self.joules / self.seconds / 1e6 if self.seconds > 0 else 0.0
+
+    @property
+    def gflops_per_watt(self) -> float:
+        if self.joules <= 0:
+            return 0.0
+        return self.flops / self.joules / 1e9
+
+    @property
+    def megawatt_hours(self) -> float:
+        return self.joules / 3.6e9
+
+
+def node_power(utilization: float = 1.0) -> float:
+    """One node's draw [W] at the given compute utilization."""
+    if not (0.0 <= utilization <= 1.0):
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    full = PROCESSOR_POWER + NODE_OVERHEAD_POWER
+    return full * (IDLE_FRACTION + (1.0 - IDLE_FRACTION) * utilization)
+
+
+def run_energy(
+    nproc: int,
+    seconds: float,
+    flops: float,
+    utilization: float = 1.0,
+) -> EnergyReport:
+    """Energy of a run on ``nproc`` core groups for ``seconds``.
+
+    Four core groups share a node; partially-filled nodes still burn
+    whole-node power (allocation granularity).
+    """
+    if nproc < 1 or seconds <= 0 or flops < 0:
+        raise ValueError("invalid run parameters")
+    nodes = -(-nproc // C.SW_CORE_GROUPS)
+    joules = nodes * node_power(utilization) * seconds
+    return EnergyReport(nodes=nodes, seconds=seconds, flops=flops, joules=joules)
+
+
+def machine_efficiency_check() -> dict[str, float]:
+    """The paper's headline: 6.06 GFlops/W at Linpack scale.
+
+    Linpack: 93 PFlops at 15.37 MW -> 6.05 GFlops/W; our constants must
+    reproduce it (consistency check used by the tests).
+    """
+    gfw = C.TAIHULIGHT_LINPACK_FLOPS / TAIHULIGHT_SYSTEM_POWER / 1e9
+    return {
+        "linpack_gflops_per_watt": gfw,
+        "paper_value": 6.06,
+        "chip_gflops_per_watt": DEFAULT_SPEC.processor_peak_flops
+        / PROCESSOR_POWER
+        / 1e9,
+    }

@@ -1,0 +1,55 @@
+"""The whole SW26010 chip: 4 core groups connected by a network-on-chip.
+
+CAM-SE assigns one MPI rank per CG, so most of the library operates at
+CG granularity; :class:`SW26010` exists for whole-node accounting (peak
+flops, shared 132 GB/s channel, 32 GB capacity checks) and for the
+Figure 6/8 arithmetic that converts process counts into core counts.
+"""
+
+from __future__ import annotations
+
+from .core_group import CoreGroup
+from .perf import PerfCounters
+from .spec import SW26010Spec, DEFAULT_SPEC
+
+
+class SW26010:
+    """One Sunway node: 4 CGs + NoC."""
+
+    def __init__(self, node_id: int = 0, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.core_groups = [CoreGroup(i, spec) for i in range(spec.core_groups)]
+
+    @property
+    def n_cores(self) -> int:
+        """All cores on the node (MPEs + CPEs)."""
+        return self.spec.cores_per_processor
+
+    def collect(self, vector_efficiency: float = 1.0) -> PerfCounters:
+        """Aggregate PERF counters over all CGs.
+
+        ``cycles`` is the slowest CG (they run one rank each, in
+        parallel); traffic and flops sum.
+        """
+        total = PerfCounters()
+        slowest = 0.0
+        for cg in self.core_groups:
+            p = cg.collect(vector_efficiency)
+            slowest = max(slowest, p.cycles)
+            p.cycles = 0.0
+            total.merge(p)
+        total.cycles = slowest
+        return total
+
+    def memory_fits(self, bytes_needed: int) -> bool:
+        """Whether a per-node working set fits the 32 GB main memory.
+
+        This is the constraint that forces the ne1024 strong-scaling run
+        to start at 8,192 processes in the paper's Figure 7.
+        """
+        return bytes_needed <= self.spec.memory_bytes
+
+    def reset(self) -> None:
+        for cg in self.core_groups:
+            cg.reset()

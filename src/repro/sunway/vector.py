@@ -1,0 +1,130 @@
+"""The SW26010 256-bit vector unit, including the shuffle instruction.
+
+The paper's Athread redesign relies on (a) manual vectorization with
+explicitly declared vector types, and (b) the ``Shuffle(a, b, mask)``
+instruction to transpose 4x4 sub-matrices entirely in registers
+(Section 7.5, Figure 3).  This module implements both functionally:
+
+- :class:`VectorUnit` executes 4-lane double-precision arithmetic on
+  numpy rows while counting issued vector instructions, so backends can
+  convert instruction counts into cycles;
+- :func:`shuffle` is the two-from-a / two-from-b lane selector from the
+  paper's figure;
+- :func:`transpose4x4` performs the 8-shuffle in-register transposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import SW26010Spec, DEFAULT_SPEC
+
+#: Lanes in one vector register (256 bits of doubles).
+LANES = 4
+
+
+def shuffle(a: np.ndarray, b: np.ndarray, mask: tuple[int, int, int, int]) -> np.ndarray:
+    """The SW26010 ``Shuffle(a, b, mask)`` instruction.
+
+    ``a`` and ``b`` are 4-lane registers.  The result takes its first two
+    lanes from positions ``mask[0]``, ``mask[1]`` of ``a`` and its last
+    two lanes from positions ``mask[2]``, ``mask[3]`` of ``b`` — the
+    semantics illustrated in the top-left of the paper's Figure 3.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != (LANES,) or b.shape != (LANES,):
+        raise ValueError(f"shuffle operands must be 4-lane registers, got {a.shape}, {b.shape}")
+    if len(mask) != 4 or any(not (0 <= m < LANES) for m in mask):
+        raise ValueError(f"mask must be 4 lane indices in [0,4), got {mask}")
+    return np.array([a[mask[0]], a[mask[1]], b[mask[2]], b[mask[3]]], dtype=a.dtype)
+
+
+def transpose4x4(m: np.ndarray) -> tuple[np.ndarray, int]:
+    """Transpose a 4x4 matrix with 8 shuffle instructions (paper Fig. 3).
+
+    Rows of ``m`` are treated as vector registers.  Returns the transposed
+    matrix and the shuffle-instruction count (always 8), which backends
+    charge as vector-op cycles.
+
+    The classic two-stage butterfly:
+      stage 1 interleaves row pairs (lo/hi unpack),
+      stage 2 recombines across the pairs.
+    """
+    m = np.asarray(m)
+    if m.shape != (LANES, LANES):
+        raise ValueError(f"transpose4x4 expects a 4x4 matrix, got {m.shape}")
+    r0, r1, r2, r3 = (m[i] for i in range(4))
+    # Stage 1: unpack low/high pairs.  t0 = [a0, b0, a1, b1] etc.
+    t0 = shuffle(r0, r1, (0, 1, 0, 1))        # a0 a1 b0 b1
+    t1 = shuffle(r0, r1, (2, 3, 2, 3))        # a2 a3 b2 b3
+    t2 = shuffle(r2, r3, (0, 1, 0, 1))        # c0 c1 d0 d1
+    t3 = shuffle(r2, r3, (2, 3, 2, 3))        # c2 c3 d2 d3
+    # Stage 2: pick even/odd lanes across pair results.
+    o0 = shuffle(t0, t2, (0, 2, 0, 2))        # a0 b0 c0 d0
+    o1 = shuffle(t0, t2, (1, 3, 1, 3))        # a1 b1 c1 d1
+    o2 = shuffle(t1, t3, (0, 2, 0, 2))        # a2 b2 c2 d2
+    o3 = shuffle(t1, t3, (1, 3, 1, 3))        # a3 b3 c3 d3
+    return np.stack([o0, o1, o2, o3]), 8
+
+
+class VectorUnit:
+    """Functional 4-lane DP vector ALU with instruction accounting.
+
+    Operations act on arrays whose trailing dimension is padded to a
+    multiple of 4 lanes; each group of 4 lanes is one vector instruction.
+    ``vector_efficiency`` models how well a kernel's data layout feeds the
+    unit: irregular layouts (the original CAM code, Section 7.3) achieve
+    well under 1.0, while the redesigned layouts approach it.
+    """
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.spec = spec
+        self.instructions = 0
+        self.flops = 0
+        self.shuffles = 0
+
+    def _count(self, n_elements: int, flops_per_element: int) -> None:
+        n_instr = -(-n_elements // LANES)  # ceil-div: partial vectors still issue
+        self.instructions += n_instr
+        self.flops += n_elements * flops_per_element
+
+    def add(self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Lanewise add; one flop per element."""
+        res = np.add(a, b, out=out)
+        self._count(res.size, 1)
+        return res
+
+    def mul(self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Lanewise multiply; one flop per element."""
+        res = np.multiply(a, b, out=out)
+        self._count(res.size, 1)
+        return res
+
+    def fmadd(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Fused multiply-add a*b + c; two flops per element, one instruction."""
+        res = np.multiply(a, b, out=out)
+        res = np.add(res, c, out=res if out is not None else None)
+        self._count(np.asarray(res).size, 2)
+        return res
+
+    def transpose_block(self, m: np.ndarray) -> np.ndarray:
+        """Transpose a 4x4 block in registers, counting 8 shuffles."""
+        out, n = transpose4x4(m)
+        self.shuffles += n
+        self.instructions += n
+        return out
+
+    def cycles(self, vector_efficiency: float = 1.0) -> float:
+        """Cycles to issue the counted instructions at the given efficiency."""
+        if not (0.0 < vector_efficiency <= 1.0):
+            raise ValueError(f"vector_efficiency must be in (0,1], got {vector_efficiency}")
+        return self.instructions / vector_efficiency
+
+    def reset(self) -> None:
+        """Zero instruction/flop counters."""
+        self.instructions = 0
+        self.flops = 0
+        self.shuffles = 0

@@ -1,0 +1,7 @@
+"""Shared utilities: simulated clocks, structured run logs, table rendering."""
+
+from .timing import SimClock, Timer
+from .tables import render_table
+from .logging import RunLog
+
+__all__ = ["SimClock", "Timer", "render_table", "RunLog"]

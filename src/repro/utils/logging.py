@@ -1,0 +1,55 @@
+"""Structured run logging.
+
+Experiments record (key, value) events into a :class:`RunLog`; drivers
+print them and tests assert on them.  This replaces ad-hoc prints so the
+experiment output is machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class LogEvent:
+    """One structured event: a named measurement with arbitrary metadata."""
+
+    key: str
+    value: Any
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class RunLog:
+    """An append-only log of structured events for one experiment run."""
+
+    def __init__(self, name: str = "run") -> None:
+        self.name = name
+        self._events: list[LogEvent] = []
+
+    def record(self, key: str, value: Any, **meta: Any) -> None:
+        """Append an event."""
+        self._events.append(LogEvent(key, value, dict(meta)))
+
+    def values(self, key: str) -> list[Any]:
+        """All recorded values for ``key`` in order."""
+        return [e.value for e in self._events if e.key == key]
+
+    def last(self, key: str, default: Any = None) -> Any:
+        """Most recent value for ``key``."""
+        vals = self.values(key)
+        return vals[-1] if vals else default
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-event summary."""
+        lines = [f"RunLog {self.name!r} ({len(self._events)} events)"]
+        for e in self._events:
+            meta = f"  {e.meta}" if e.meta else ""
+            lines.append(f"  {e.key} = {e.value}{meta}")
+        return "\n".join(lines)

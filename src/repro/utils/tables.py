@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver prints the same rows the paper reports; this
+module renders them in aligned ASCII so the benchmark logs read like the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    ncol = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (ncol - len(r)))
+    widths = [max(len(r[i]) for r in cells) for i in range(ncol)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

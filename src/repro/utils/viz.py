@@ -1,0 +1,76 @@
+"""ASCII visualization of cubed-sphere fields for the examples.
+
+Renders an (nelem, np, np) field as a latitude-longitude character map
+— enough to *see* the Katrina vortex, the Held--Suarez jets, or the
+Rossby--Haurwitz wave in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.cubed_sphere import CubedSphereMesh
+
+#: Dark-to-bright ramp.
+RAMP = " .:-=+*#%@"
+
+
+def latlon_grid(
+    mesh: CubedSphereMesh,
+    field: np.ndarray,
+    nlat: int = 24,
+    nlon: int = 60,
+) -> np.ndarray:
+    """Bin GLL point values onto a regular lat-lon grid (nearest mean)."""
+    if field.shape != mesh.lat.shape:
+        raise ValueError(f"field shape {field.shape} != mesh {mesh.lat.shape}")
+    lat_i = np.clip(
+        ((mesh.lat + np.pi / 2) / np.pi * nlat).astype(int), 0, nlat - 1
+    )
+    lon_i = np.clip((mesh.lon / (2 * np.pi) * nlon).astype(int), 0, nlon - 1)
+    acc = np.zeros((nlat, nlon))
+    cnt = np.zeros((nlat, nlon))
+    np.add.at(acc, (lat_i.reshape(-1), lon_i.reshape(-1)), field.reshape(-1))
+    np.add.at(cnt, (lat_i.reshape(-1), lon_i.reshape(-1)), 1)
+    with np.errstate(invalid="ignore"):
+        grid = acc / cnt
+    # Fill empty bins from the zonal mean.
+    for i in range(nlat):
+        row = grid[i]
+        if np.isnan(row).any():
+            fill = np.nanmean(row) if not np.isnan(row).all() else 0.0
+            row[np.isnan(row)] = fill
+    return grid
+
+
+def ascii_map(
+    mesh: CubedSphereMesh,
+    field: np.ndarray,
+    nlat: int = 24,
+    nlon: int = 60,
+    title: str | None = None,
+    marker: tuple[float, float] | None = None,
+) -> str:
+    """Render a field as an ASCII map (north at the top).
+
+    ``marker`` is an optional (lat_deg, lon_deg) position drawn as 'X'
+    (the storm-center fix in the Katrina example).
+    """
+    grid = latlon_grid(mesh, field, nlat, nlon)
+    lo, hi = float(grid.min()), float(grid.max())
+    span = hi - lo if hi > lo else 1.0
+    chars = [
+        [RAMP[int((v - lo) / span * (len(RAMP) - 1))] for v in row]
+        for row in grid
+    ]
+    if marker is not None:
+        mlat, mlon = marker
+        i = int(np.clip((np.deg2rad(mlat) + np.pi / 2) / np.pi * nlat, 0, nlat - 1))
+        j = int(np.clip(np.deg2rad(mlon % 360.0) / (2 * np.pi) * nlon, 0, nlon - 1))
+        chars[i][j] = "X"
+    lines = []
+    if title:
+        lines.append(f"{title}  [{lo:.4g} .. {hi:.4g}]")
+    for row in reversed(chars):  # north up
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Tests for the FV3/MPAS cost models and the NGGPS Table-3 harness."""
+
+import pytest
+
+from repro.baselines import FV3Model, MPASModel, NGGPSBenchmark
+from repro.errors import BaselineError
+
+
+class TestFV3:
+    def test_c768_is_13km_class(self):
+        m = FV3Model(13.0, 110592)
+        assert 700 <= m.n_c <= 800
+        assert m.cells == 6 * m.n_c**2
+
+    def test_timestep_scales_with_resolution(self):
+        assert FV3Model(13.0, 1).dt_seconds == pytest.approx(112.5)
+        assert FV3Model(3.25, 1).dt_seconds == pytest.approx(112.5 / 4)
+
+    def test_more_procs_faster(self):
+        slow = FV3Model(13.0, 10000).time_to_solution(7200)
+        fast = FV3Model(13.0, 110592).time_to_solution(7200)
+        assert fast < slow
+
+    def test_floor_limits_scaling(self):
+        # Beyond some rank count, the per-step floor dominates.
+        t1 = FV3Model(13.0, 10**6).time_to_solution(7200)
+        t2 = FV3Model(13.0, 10**7).time_to_solution(7200)
+        assert t2 > 0.8 * t1  # nearly no gain
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BaselineError):
+            FV3Model(0.0, 10)
+        with pytest.raises(BaselineError):
+            FV3Model(13.0, 0)
+        with pytest.raises(BaselineError):
+            FV3Model(13.0, 10).time_to_solution(-1.0)
+
+
+class TestMPAS:
+    def test_cell_count_matches_area(self):
+        m = MPASModel(12.5, 96000)
+        assert m.cells == pytest.approx(5.101e8 / 12.5**2, rel=1e-6)
+
+    def test_dt_smaller_than_fv3(self):
+        assert MPASModel(13.0, 1).dt_seconds < FV3Model(13.0, 1).dt_seconds
+
+    def test_3km_mesh_is_large(self):
+        assert MPASModel(3.0, 1).cells > 5e7
+
+    def test_invalid(self):
+        with pytest.raises(BaselineError):
+            MPASModel(-1.0, 10)
+
+
+class TestNGGPS:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return NGGPSBenchmark().run()
+
+    def test_two_workloads(self, rows):
+        assert len(rows) == 2
+
+    def test_homme_fastest_everywhere(self, rows):
+        for row in rows:
+            assert min(row.seconds, key=row.seconds.get) == "ours"
+
+    def test_125km_ratios(self, rows):
+        row = rows[0]
+        assert row.ratio("fv3") == pytest.approx(row.paper_ratio("fv3"), rel=0.25)
+        assert row.ratio("mpas") == pytest.approx(row.paper_ratio("mpas"), rel=0.25)
+
+    def test_3km_ratios(self, rows):
+        row = rows[1]
+        assert row.ratio("fv3") == pytest.approx(2.11, rel=0.3)
+        assert row.ratio("mpas") == pytest.approx(4.51, rel=0.3)
+
+    def test_advantage_grows_at_3km(self, rows):
+        """The paper: 'For the extreme case of 3 km simulation, the
+        performance advantage is even better.'"""
+        assert rows[1].ratio("fv3") > rows[0].ratio("fv3")
+        assert rows[1].ratio("mpas") > rows[0].ratio("mpas")

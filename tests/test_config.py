@@ -1,0 +1,128 @@
+"""Tests for repro.config: resolution table, derived sizes, validation."""
+
+import math
+
+import pytest
+
+from repro import constants as C
+from repro.config import (
+    ModelConfig,
+    RunConfig,
+    PAPER_MESH_TABLE,
+    elements_for_ne,
+    dt_dynamics_seconds,
+)
+from repro.errors import ConfigurationError
+
+
+class TestElementsForNe:
+    def test_paper_table2_counts(self):
+        # Paper Table 2: ne -> total elements.
+        expected = {
+            64: 24_576,
+            256: 393_216,
+            512: 1_572_864,
+            1024: 6_291_456,
+            2048: 25_165_824,
+            4096: 100_663_296,
+        }
+        for ne, count in expected.items():
+            assert elements_for_ne(ne) == count
+
+    def test_mesh_table_matches_names(self):
+        for name, ne in PAPER_MESH_TABLE.items():
+            assert name == f"ne{ne}"
+
+    def test_rejects_tiny_ne(self):
+        with pytest.raises(ConfigurationError):
+            elements_for_ne(1)
+
+
+class TestModelConfig:
+    def test_ne30_is_100km_class(self):
+        cfg = ModelConfig(ne=30)
+        assert 90 <= cfg.resolution_km <= 120
+
+    def test_ne120_is_25km_class(self):
+        cfg = ModelConfig(ne=120)
+        assert 22 <= cfg.resolution_km <= 30
+
+    def test_ne4096_is_750m_class(self):
+        cfg = ModelConfig(ne=4096)
+        assert 0.6 <= cfg.resolution_km <= 0.9
+
+    def test_nelem(self):
+        assert ModelConfig(ne=30).nelem == 5400
+        assert ModelConfig(ne=120).nelem == 86400
+
+    def test_columns_ne30(self):
+        # CAM-SE ne30np4 has 48,602 physics columns (paper Section 8.2).
+        assert ModelConfig(ne=30).columns == 48_602
+
+    def test_timestep_scales_inversely(self):
+        assert dt_dynamics_seconds(30) == pytest.approx(300.0)
+        assert dt_dynamics_seconds(120) == pytest.approx(75.0)
+        assert dt_dynamics_seconds(240) == pytest.approx(37.5)
+
+    def test_steps_per_day(self):
+        cfg = ModelConfig(ne=30)
+        assert cfg.steps_per_day == 288
+
+    def test_dofs_positive_and_scales_with_tracers(self):
+        a = ModelConfig(ne=4, nlev=8, qsize=0)
+        b = ModelConfig(ne=4, nlev=8, qsize=4)
+        assert b.dofs() == a.dofs() * 2  # 4 state vars + 4 tracers vs 4
+
+    def test_elements_per_process(self):
+        cfg = ModelConfig(ne=256)
+        # Paper Table 1 context: 6144 processes over ne256 -> 64 elems each.
+        assert cfg.elements_per_process(6144) == 64
+
+    def test_too_many_processes_rejected(self):
+        cfg = ModelConfig(ne=4)
+        with pytest.raises(ConfigurationError):
+            cfg.elements_per_process(cfg.nelem + 1)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(ne=1)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(ne=4, nlev=0)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(ne=4, qsize=-1)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(ne=4, np=1)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(ne=4, tracer_subcycles=0)
+
+    def test_with_replaces(self):
+        cfg = ModelConfig(ne=30).with_(qsize=1)
+        assert cfg.qsize == 1
+        assert cfg.ne == 30
+
+
+class TestRunConfig:
+    def test_paper_core_arithmetic(self):
+        # Paper: 155,000 processes = 10,075,000 cores (65 per CG).
+        run = RunConfig(ModelConfig(ne=4096), nproc=155_000)
+        assert run.total_cores == 10_075_000
+
+    def test_ne120_run_cores(self):
+        # Paper abstract: 25-km resolution using 1,872,000 cores at
+        # 28,800 processes (65 cores per CG: 28,800 * 65 = 1,872,000).
+        run = RunConfig(ModelConfig(ne=120), nproc=28_800)
+        assert run.total_cores == 1_872_000
+
+    def test_nodes(self):
+        run = RunConfig(ModelConfig(ne=30), nproc=216)
+        assert run.nodes == 54
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(ModelConfig(ne=30), nproc=8, backend="cuda")
+
+    def test_nproc_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(ModelConfig(ne=4), nproc=0)
+        with pytest.raises(ConfigurationError):
+            RunConfig(ModelConfig(ne=4), nproc=97)  # > 96 elements

@@ -1,0 +1,75 @@
+"""Tests for the dycore diagnostics helpers."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.config import ModelConfig
+from repro.homme import diagnostics as diag
+from repro.homme.element import ElementGeometry, ElementState
+from repro.mesh import CubedSphereMesh
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = ModelConfig(ne=4, nlev=8, qsize=1)
+    mesh = CubedSphereMesh(4)
+    geom = ElementGeometry(mesh)
+    state = ElementState.isothermal_rest(geom, cfg, T0=290.0)
+    state.qdp[:, 0] = 2e-3 * state.dp3d
+    return cfg, mesh, geom, state
+
+
+class TestIntegrals:
+    def test_total_mass_matches_analytic(self, setup):
+        # Mass = area * (ps - ptop) / g for a uniform atmosphere.
+        cfg, mesh, geom, state = setup
+        area = 4 * np.pi * C.EARTH_RADIUS**2
+        expected = area * (C.P0 - 0.0) / C.GRAVITY  # dp sums to P0 exactly
+        assert diag.total_mass(state, geom) == pytest.approx(expected, rel=1e-4)
+
+    def test_tracer_mass_ratio(self, setup):
+        cfg, mesh, geom, state = setup
+        qm = diag.total_tracer_mass(state, geom)[0]
+        assert qm == pytest.approx(2e-3 * diag.total_mass(state, geom) * C.GRAVITY / C.GRAVITY, rel=1e-6)
+
+    def test_energy_scales_with_temperature(self, setup):
+        cfg, mesh, geom, state = setup
+        warm = state.copy()
+        warm.T = state.T * 1.1
+        assert diag.total_energy(warm, geom) > diag.total_energy(state, geom)
+
+    def test_max_wind_zero_at_rest(self, setup):
+        cfg, mesh, geom, state = setup
+        assert diag.max_wind(state, geom) == 0.0
+
+    def test_max_wind_matches_imposed(self, setup):
+        cfg, mesh, geom, state = setup
+        windy = state.copy()
+        u = 25.0 * np.cos(geom.lat)
+        windy.v[:] = mesh.spherical_to_contravariant(u, np.zeros_like(u))[:, None]
+        assert diag.max_wind(windy, geom) == pytest.approx(25.0, rel=1e-6)
+
+
+class TestStability:
+    def test_courant_scales_with_dt(self, setup):
+        cfg, mesh, geom, state = setup
+        windy = state.copy()
+        u = 10.0 * np.cos(geom.lat)
+        windy.v[:] = mesh.spherical_to_contravariant(u, np.zeros_like(u))[:, None]
+        c1 = diag.courant_number(windy, geom, 100.0, cfg.ne)
+        c2 = diag.courant_number(windy, geom, 200.0, cfg.ne)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_surface_pressure_range(self, setup):
+        cfg, mesh, geom, state = setup
+        lo, hi = diag.surface_pressure_range(state)
+        assert lo <= hi
+        assert lo == pytest.approx(C.P0 + 219.0, rel=1e-9)
+
+    def test_finite_detector(self, setup):
+        cfg, mesh, geom, state = setup
+        assert diag.state_is_finite(state)
+        bad = state.copy()
+        bad.T[0, 0, 0, 0] = np.nan
+        assert not diag.state_is_finite(bad)

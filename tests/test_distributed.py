@@ -1,0 +1,190 @@
+"""Tests for the distributed shallow-water model and the RH wave."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.homme.distributed import DistributedShallowWater
+from repro.homme.hypervis import nu_for_ne
+from repro.homme.shallow_water import (
+    ShallowWaterModel,
+    rossby_haurwitz_initial,
+    williamson2_initial,
+)
+from repro.mesh import CubedSphereMesh
+
+
+@pytest.fixture(scope="module")
+def mesh4():
+    return CubedSphereMesh(ne=4)
+
+
+class TestDistributedMatchesSerial:
+    def test_five_steps_match_to_roundoff(self, mesh4):
+        serial = ShallowWaterModel(mesh4)
+        dist = DistributedShallowWater(mesh4, nranks=6, dt=serial.dt)
+        for _ in range(5):
+            serial.step()
+        dist.run_steps(5)
+        g = dist.gather_state()
+        assert np.allclose(g.h, serial.state.h, rtol=1e-12)
+        assert np.allclose(g.v, serial.state.v, atol=1e-18)
+
+    def test_classic_and_overlap_identical_numerics(self, mesh4):
+        a = DistributedShallowWater(mesh4, nranks=4, mode="overlap")
+        b = DistributedShallowWater(mesh4, nranks=4, mode="classic")
+        a.run_steps(3)
+        b.run_steps(3)
+        ga, gb = a.gather_state(), b.gather_state()
+        assert np.array_equal(ga.h, gb.h)
+        assert np.array_equal(ga.v, gb.v)
+
+    def test_rank_count_invariance(self, mesh4):
+        a = DistributedShallowWater(mesh4, nranks=2)
+        b = DistributedShallowWater(mesh4, nranks=8, dt=a.dt)
+        a.run_steps(2)
+        b.run_steps(2)
+        assert np.allclose(a.gather_state().h, b.gather_state().h, rtol=1e-12)
+
+    def test_mass_conserved(self, mesh4):
+        dist = DistributedShallowWater(mesh4, nranks=6)
+        m0 = dist.total_mass()
+        dist.run_steps(4)
+        assert abs(dist.total_mass() - m0) / m0 < 1e-12
+
+    def test_clocks_advance(self, mesh4):
+        dist = DistributedShallowWater(mesh4, nranks=6)
+        dist.run_steps(2)
+        assert dist.max_rank_time() > 0
+
+    def test_overlap_not_slower(self, mesh4):
+        """With the same compute attribution, overlap never loses."""
+        on = DistributedShallowWater(mesh4, nranks=8, mode="overlap")
+        off = DistributedShallowWater(mesh4, nranks=8, mode="classic")
+        on.run_steps(3)
+        off.run_steps(3)
+        assert on.max_rank_time() <= off.max_rank_time() * 1.001
+
+    def test_unknown_mode_rejected(self, mesh4):
+        with pytest.raises(KernelError):
+            DistributedShallowWater(mesh4, nranks=2, mode="magic")
+
+
+class TestRossbyHaurwitz:
+    def test_initial_height_range(self):
+        mesh = CubedSphereMesh(ne=6)
+        st = rossby_haurwitz_initial(mesh)
+        # Standard case 6: geopotential height ~8,000-10,600 m.
+        assert 7900 < st.h.min() < 8100
+        assert 10200 < st.h.max() < 10800
+
+    def test_wavenumber_4_structure(self):
+        mesh = CubedSphereMesh(ne=6)
+        st = rossby_haurwitz_initial(mesh)
+        # Sample h along the equator: 4 maxima.
+        eq = np.abs(mesh.lat) < 0.05
+        lons = mesh.lon[eq]
+        hs = st.h[eq]
+        order = np.argsort(lons)
+        signal = hs[order] - hs.mean()
+        # Dominant Fourier mode of the equatorial signal is k=4.
+        spec = np.abs(np.fft.rfft(signal))
+        k = np.argmax(spec[1:]) + 1
+        n_samples = len(signal)
+        assert round(k / (n_samples / (2 * np.pi)) / (2 * np.pi / n_samples)) in (4,) or k == 4
+
+    def test_stable_24h_with_hypervis(self):
+        mesh = CubedSphereMesh(ne=6)
+        model = ShallowWaterModel(
+            mesh, state=rossby_haurwitz_initial(mesh), nu=nu_for_ne(6)
+        )
+        m0 = model.total_mass()
+        model.run_hours(24)
+        assert np.isfinite(model.state.h).all()
+        assert 7500 < model.state.h.min()
+        assert model.state.h.max() < 11500
+        # Weak-form hyperviscosity keeps mass to roundoff.
+        assert abs(model.total_mass() - m0) / m0 < 1e-11
+
+    def test_wave_amplitude_persists(self):
+        mesh = CubedSphereMesh(ne=6)
+        model = ShallowWaterModel(
+            mesh, state=rossby_haurwitz_initial(mesh), nu=nu_for_ne(6)
+        )
+        amp0 = model.state.h.max() - model.state.h.min()
+        model.run_hours(12)
+        amp1 = model.state.h.max() - model.state.h.min()
+        assert amp1 > 0.8 * amp0
+
+
+class TestDistributedPrimitiveEquations:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.config import ModelConfig
+        from repro.homme.element import ElementGeometry, ElementState
+
+        cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+        mesh = CubedSphereMesh(4)
+        geom = ElementGeometry(mesh)
+        state = ElementState.isothermal_rest(geom, cfg)
+        rng = np.random.default_rng(0)
+        state.T = geom.dss(state.T + rng.standard_normal(state.T.shape))
+        state.qdp[:, 0] = 1e-3 * state.dp3d
+        return cfg, mesh, state
+
+    def test_matches_serial_prim_run(self, setup):
+        """The whole distributed timestep — RK3, tracers with the
+        allreduce mass fixer, hyperviscosity, remap — reproduces the
+        serial trajectory to roundoff."""
+        from repro.homme.distributed import DistributedPrimitiveEquations
+        from repro.homme.timestep import PrimitiveEquationModel
+
+        cfg, mesh, state = setup
+        serial = PrimitiveEquationModel(cfg, mesh=mesh, init=state.copy(), dt=600.0)
+        dist = DistributedPrimitiveEquations(cfg, mesh, state.copy(), nranks=4, dt=600.0)
+        serial.run_steps(4)  # spans a remap (rsplit = 3)
+        dist.run_steps(4)
+        g = dist.gather_state()
+        assert np.allclose(g.T, serial.state.T, atol=1e-10)
+        assert np.allclose(g.dp3d, serial.state.dp3d, atol=1e-8)
+        assert np.allclose(g.v, serial.state.v, atol=1e-16)
+        assert np.allclose(g.qdp, serial.state.qdp, atol=1e-10)
+
+    def test_rank_invariance(self, setup):
+        from repro.homme.distributed import DistributedPrimitiveEquations
+
+        cfg, mesh, state = setup
+        a = DistributedPrimitiveEquations(cfg, mesh, state.copy(), nranks=2, dt=600.0)
+        b = DistributedPrimitiveEquations(cfg, mesh, state.copy(), nranks=8, dt=600.0)
+        a.run_steps(2)
+        b.run_steps(2)
+        assert np.allclose(a.gather_state().T, b.gather_state().T, atol=1e-10)
+
+    def test_mass_conserved(self, setup):
+        from repro.homme.distributed import DistributedPrimitiveEquations
+
+        cfg, mesh, state = setup
+        dist = DistributedPrimitiveEquations(cfg, mesh, state.copy(), nranks=4, dt=600.0)
+        w = mesh.spheremp[:, None]
+        m0 = float(np.sum(state.dp3d * w))
+        dist.run_steps(3)
+        m1 = float(np.sum(dist.gather_state().dp3d * w))
+        assert abs(m1 - m0) / m0 < 1e-11
+
+    def test_tracer_mass_conserved_through_allreduce_fixer(self, setup):
+        from repro.homme.distributed import DistributedPrimitiveEquations
+
+        cfg, mesh, state = setup
+        dist = DistributedPrimitiveEquations(cfg, mesh, state.copy(), nranks=4, dt=600.0)
+        w = mesh.spheremp[:, None, None]
+        m0 = float(np.sum(state.qdp * w))
+        dist.run_steps(3)
+        m1 = float(np.sum(dist.gather_state().qdp * w))
+        assert abs(m1 - m0) / m0 < 1e-9
+
+    def test_invalid_mode(self, setup):
+        from repro.homme.distributed import DistributedPrimitiveEquations
+
+        cfg, mesh, state = setup
+        with pytest.raises(KernelError):
+            DistributedPrimitiveEquations(cfg, mesh, state, nranks=2, dt=600.0, mode="x")

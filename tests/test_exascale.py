@@ -1,0 +1,65 @@
+"""Tests for the Exascale projection (paper Section 10 made concrete)."""
+
+import pytest
+
+from repro.perf.exascale import (
+    ExascaleProjection,
+    exascale_spec,
+    project,
+    speed_wall_analysis,
+)
+from repro.sunway.spec import DEFAULT_SPEC
+
+
+class TestExascaleSpec:
+    def test_compute_scales(self):
+        s = exascale_spec()
+        assert s.processor_peak_flops > 8 * DEFAULT_SPEC.processor_peak_flops
+
+    def test_bandwidth_scales(self):
+        s = exascale_spec()
+        assert s.memory_bandwidth == pytest.approx(4 * DEFAULT_SPEC.memory_bandwidth)
+
+    def test_ridge_moves_right(self):
+        """Compute grows faster than bandwidth: traffic minimization
+        matters MORE on the successor — the paper's core warning."""
+        s = exascale_spec()
+        ridge_today = DEFAULT_SPEC.cg_peak_flops / DEFAULT_SPEC.cg_memory_bandwidth
+        ridge_exa = s.cg_peak_flops / s.cg_memory_bandwidth
+        assert ridge_exa > 1.5 * ridge_today
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            exascale_spec(compute=0.0)
+
+
+class TestProjection:
+    def test_successor_faster(self):
+        p = project(256, 8192)
+        assert p.exa_pflops > p.today_pflops
+        assert p.exa_sypd > p.today_sypd
+
+    def test_gain_below_hardware_factor(self):
+        """Amdahl: the serial floor caps the realized gain well below
+        the x4 chip-level speedup."""
+        p = project(256, 8192)
+        assert p.sypd_gain < 4.0
+        assert p.sypd_gain > 1.2
+
+    def test_strong_scaled_config_gains_least(self):
+        """At 3 elements/rank the serial floor dominates: the successor
+        machine buys almost nothing — the simulation speed wall."""
+        granular = project(256, 131072)
+        chunky = project(1024, 8192)
+        assert granular.sypd_gain < chunky.sypd_gain
+
+
+class TestSpeedWall:
+    def test_irreducible_fraction_positive(self):
+        res = speed_wall_analysis()
+        assert res["irreducible_seconds"] > 0
+        assert 0 < res["compute_fraction"] < 1
+
+    def test_infinite_chip_speedup_finite(self):
+        res = speed_wall_analysis()
+        assert res["max_speedup_infinite_chip"] < 50.0

@@ -1,0 +1,69 @@
+"""Tests for the experiment drivers (the cheap, model-based ones).
+
+Figure 4 and Figure 9 run real simulations and are exercised with
+reduced settings here; their full versions live in the benchmark
+harness.
+"""
+
+import pytest
+
+from repro.experiments.table1_kernels import PAPER_TABLE1, run_table1
+from repro.experiments.figure5_speedups import run_figure5
+from repro.experiments.figure6_sypd import run_figure6
+from repro.experiments.figure7_strong import run_figure7
+from repro.experiments.figure8_weak import run_figure8
+from repro.experiments.table3_nggps import run_table3
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table1(verbose=False)
+
+    def test_all_cells_pass(self, table):
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]
+
+    def test_covers_all_kernels_and_columns(self, table):
+        assert len(table.records) == len(PAPER_TABLE1) * 3
+
+    def test_markdown_renders(self, table):
+        md = table.markdown()
+        assert "euler_step" in md and "| pass |" in md
+
+
+class TestFigure5Driver:
+    def test_all_claims_pass(self):
+        table = run_figure5(verbose=False)
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]
+
+
+class TestFigure6Driver:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_figure6(verbose=False)
+
+    def test_all_anchors_pass(self, table):
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]
+
+    def test_headline_anchor_present(self, table):
+        names = [r.quantity for r in table.records]
+        assert "ne30 athread SYPD @5400" in names
+        assert "ne120 openacc SYPD @28800" in names
+
+
+class TestFigure7Driver:
+    def test_all_shape_checks_pass(self):
+        table = run_figure7(verbose=False)
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]
+
+
+class TestFigure8Driver:
+    def test_all_shape_checks_pass(self):
+        table = run_figure8(verbose=False)
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]
+
+
+class TestTable3Driver:
+    def test_all_ratios_pass(self):
+        table = run_table3(verbose=False)
+        assert table.all_passed, [r.quantity for r in table.records if not r.passed]

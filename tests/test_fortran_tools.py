@@ -1,0 +1,129 @@
+"""Tests for the Fortran frontend and the code generators."""
+
+import pytest
+
+from repro.core import FootprintAnalyzer, LoopTransformer
+from repro.core.codegen import emit_athread, emit_openacc, structural_report
+from repro.core.fortran_frontend import (
+    EULER_STEP_FORTRAN,
+    PRESSURE_SCAN_FORTRAN,
+    parse_fortran_kernel,
+)
+from repro.errors import TranslationError
+
+
+class TestFrontend:
+    def test_parses_euler_step(self):
+        parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
+        nest = parsed.nest
+        assert [l.var for l in nest.loops] == ["ie", "q", "k"]
+        assert nest.loop("q").trips == 25
+        assert parsed.parameters["nlev"] == 128
+        names = {a.array.name for a in nest.accesses}
+        assert names == {"qdp", "derived_dp", "vstar", "qdp_out"}
+
+    def test_write_detected_on_lhs(self):
+        parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
+        writes = {a.array.name for a in parsed.nest.accesses if a.is_write}
+        assert writes == {"qdp_out"}
+
+    def test_scan_comment_marks_dependence(self):
+        parsed = parse_fortran_kernel(PRESSURE_SCAN_FORTRAN, "scan")
+        assert parsed.nest.loop("k").carries_dependence
+        assert not parsed.nest.loop("ie").carries_dependence
+
+    def test_index_map_binds_loop_vars(self):
+        parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
+        qdp = next(a for a in parsed.nest.accesses if a.array.name == "qdp")
+        assert qdp.index_map == ("ie", "q", "k", None)
+
+    def test_unbalanced_do_rejected(self):
+        src = "integer, parameter :: n = 4\nreal(8) :: a(n)\ndo i = 1, n\n"
+        with pytest.raises(TranslationError):
+            parse_fortran_kernel(src)
+
+    def test_unknown_extent_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_fortran_kernel("do i = 1, mystery\nend do\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_fortran_kernel("do i = 1, 4\ncall exotic()\nend do\n")
+
+    def test_no_loops_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_fortran_kernel("integer, parameter :: n = 4\n")
+
+
+class TestCodegen:
+    @pytest.fixture(scope="class")
+    def euler(self):
+        parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
+        tr = LoopTransformer()
+        mapping = tr.transform(parsed.nest)
+        # The Athread tiling view: CPEs own elements, q and k run on-CPE.
+        fp = FootprintAnalyzer().analyze(parsed.nest, ("ie",), tile_var="k")
+        return parsed.nest, mapping, fp
+
+    def test_openacc_emits_collapse2(self, euler):
+        nest, mapping, fp = euler
+        src = emit_openacc(nest, mapping)
+        assert "collapse(2)" in src
+        assert "copyin(derived_dp)" in src
+
+    def test_openacc_copyin_placement(self, euler):
+        """The compiler restriction: copyin sits inside the q loop —
+        the structural root of the re-read pathology."""
+        nest, mapping, fp = euler
+        src = emit_openacc(nest, mapping)
+        lines = src.splitlines()
+        q_line = next(i for i, l in enumerate(lines) if l.strip().startswith("do q"))
+        copyin = next(i for i, l in enumerate(lines) if "copyin" in l)
+        assert copyin > q_line
+        assert "re-read x25" in src
+
+    def test_athread_emits_resident_and_buffered(self, euler):
+        nest, mapping, fp = euler
+        src = emit_athread(nest, mapping, fp)
+        assert "/* resident */" in src
+        assert "double buffered" in src
+        assert "prefetch" in src
+
+    def test_scan_kernel_gets_register_scheme(self):
+        parsed = parse_fortran_kernel(PRESSURE_SCAN_FORTRAN, "scan")
+        tr = LoopTransformer()
+        mapping = tr.transform(parsed.nest)
+        fp = FootprintAnalyzer().analyze(parsed.nest, mapping.collapsed or ("ie",))
+        src = emit_athread(parsed.nest, mapping, fp)
+        assert "partial-sum chain" in src
+        assert "128 levels split 8 x 16" in src
+
+    def test_structural_report_all_true(self, euler):
+        nest, mapping, fp = euler
+        report = structural_report(
+            emit_openacc(nest, mapping), emit_athread(nest, mapping, fp)
+        )
+        missing = [k for k, v in report.items() if not v and k != "ath_has_register_scan"]
+        assert not missing
+
+    def test_mismatched_inputs_rejected(self, euler):
+        nest, mapping, fp = euler
+        other = parse_fortran_kernel(PRESSURE_SCAN_FORTRAN, "scan").nest
+        with pytest.raises(TranslationError):
+            emit_openacc(other, mapping)
+
+
+class TestEndToEndTextPipeline:
+    def test_source_to_decision(self):
+        """Fortran text -> IR -> mapping -> footprint -> both dialects."""
+        parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
+        tr = LoopTransformer()
+        mapping = tr.transform(parsed.nest)
+        assert mapping.collapsed == ("ie", "q")
+        fp = FootprintAnalyzer().analyze(parsed.nest, ("ie",), tile_var="k")
+        assert fp.fits
+        acc = emit_openacc(parsed.nest, mapping)
+        ath = emit_athread(parsed.nest, mapping, fp)
+        rep = structural_report(acc, ath)
+        assert rep["acc_marks_rereads"]
+        assert rep["ath_has_resident_tiles"]

@@ -1,0 +1,121 @@
+"""Tests for the functional Algorithm-1/Algorithm-2 executions on the
+simulated CPE (the mechanism behind the 10% traffic claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends.functional_exec import (
+    AthreadStyleExecution,
+    MiniWorkload,
+    OpenACCStyleExecution,
+    _reference_update,
+    traffic_comparison,
+)
+from repro.errors import LDMOverflowError
+from repro.sunway.spec import SW26010Spec
+
+
+class TestMiniWorkload:
+    def test_random_shapes(self):
+        wl = MiniWorkload.random(qsize=4, nlev=8, points=16)
+        assert wl.qdp.shape == (4, 8, 16)
+        assert wl.vstar.shape == (8, 16)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MiniWorkload(
+                qdp=np.ones((2, 4, 8)), vstar=np.ones((4, 4)), dp=np.ones((4, 8))
+            )
+
+
+class TestNumericalEquivalence:
+    def test_openacc_matches_reference(self):
+        wl = MiniWorkload.random(qsize=3)
+        out = OpenACCStyleExecution().run(wl)
+        assert np.allclose(out, _reference_update(wl))
+
+    def test_athread_matches_reference(self):
+        wl = MiniWorkload.random(qsize=3)
+        out = AthreadStyleExecution().run(wl)
+        assert np.allclose(out, _reference_update(wl))
+
+    def test_bit_identical_disciplines(self):
+        """The redesign changes data movement, not results."""
+        wl = MiniWorkload.random(qsize=6)
+        a = OpenACCStyleExecution().run(wl)
+        b = AthreadStyleExecution().run(wl)
+        assert np.array_equal(a, b)
+
+    def test_multipass_matches_reference(self):
+        wl = MiniWorkload.random(qsize=4)
+        out = AthreadStyleExecution(passes=3).run(wl)
+        assert np.allclose(out, _reference_update(wl, passes=3))
+
+    @given(q=st.integers(1, 8), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_property(self, q, seed):
+        wl = MiniWorkload.random(qsize=q, seed=seed)
+        a = OpenACCStyleExecution().run(wl)
+        b = AthreadStyleExecution().run(wl)
+        assert np.array_equal(a, b)
+
+
+class TestTraffic:
+    def test_athread_moves_fewer_bytes(self):
+        wl = MiniWorkload.random(qsize=8)
+        res = traffic_comparison(wl)
+        assert res["traffic_ratio"] < 0.75
+
+    def test_paper_configuration_hits_10_percent(self):
+        """Q=25 tracers x 5 loop nests: the paper's measured ~10%."""
+        wl = MiniWorkload.random(qsize=25)
+        res = traffic_comparison(wl, passes=5)
+        assert res["traffic_ratio"] == pytest.approx(0.10, abs=0.03)
+        assert res["bit_identical"]
+
+    def test_ratio_improves_with_tracers(self):
+        r4 = traffic_comparison(MiniWorkload.random(qsize=4), passes=3)
+        r16 = traffic_comparison(MiniWorkload.random(qsize=16), passes=3)
+        assert r16["traffic_ratio"] < r4["traffic_ratio"]
+
+    def test_openacc_traffic_scales_with_passes(self):
+        wl = MiniWorkload.random(qsize=4)
+        a1 = OpenACCStyleExecution(passes=1)
+        a1.run(wl)
+        a3 = OpenACCStyleExecution(passes=3)
+        a3.run(wl)
+        assert a3.dma_bytes == pytest.approx(3 * a1.dma_bytes, rel=1e-9)
+
+    def test_athread_traffic_independent_of_passes(self):
+        wl = MiniWorkload.random(qsize=4)
+        a1 = AthreadStyleExecution(passes=1)
+        a1.run(wl)
+        a3 = AthreadStyleExecution(passes=3)
+        a3.run(wl)
+        assert a3.dma_bytes == a1.dma_bytes
+
+
+class TestHardwareConstraints:
+    def test_ldm_returns_to_empty(self):
+        wl = MiniWorkload.random(qsize=4)
+        ex = AthreadStyleExecution()
+        ex.run(wl)
+        assert ex.cpe.ldm.used == 0
+
+    def test_tiles_too_big_for_ldm_raise(self):
+        wl = MiniWorkload.random(qsize=2, nlev=64, points=64)  # 32 KB/tile
+        with pytest.raises(LDMOverflowError):
+            AthreadStyleExecution().run(wl)
+
+    def test_small_spec_rejects_standard_tiles(self):
+        spec = SW26010Spec(ldm_bytes=2048)
+        wl = MiniWorkload.random(qsize=2)
+        with pytest.raises(LDMOverflowError):
+            AthreadStyleExecution(spec).run(wl)
+
+    def test_vector_unit_counted_flops(self):
+        wl = MiniWorkload.random(qsize=2)
+        ex = AthreadStyleExecution()
+        ex.run(wl)
+        assert ex.cpe.vector.flops > 0

@@ -1,0 +1,178 @@
+"""Integration tests: shallow-water verification, prim_run stability,
+and the distributed boundary exchange."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.config import ModelConfig
+from repro.errors import KernelError
+from repro.homme.bndry import HaloExchanger
+from repro.homme.shallow_water import ShallowWaterModel, williamson2_initial
+from repro.homme.timestep import PrimitiveEquationModel, RSPLIT
+from repro.mesh import CubedSphereMesh, SFCPartition
+from repro.network import SimMPI
+
+
+class TestShallowWater:
+    @pytest.fixture(scope="class")
+    def run12h(self):
+        mesh = CubedSphereMesh(ne=6)
+        model = ShallowWaterModel(mesh)
+        ref = williamson2_initial(mesh)
+        m0 = model.total_mass()
+        model.run_hours(12)
+        return model, ref, m0
+
+    def test_williamson2_height_error_small(self, run12h):
+        model, ref, _ = run12h
+        # Steady state: L2 height error stays at discretization level.
+        assert model.height_l2_error(ref) < 1e-3
+
+    def test_mass_exactly_conserved(self, run12h):
+        model, _, m0 = run12h
+        assert abs(model.total_mass() - m0) / m0 < 1e-13
+
+    def test_state_bounded(self, run12h):
+        model, ref, _ = run12h
+        assert np.isfinite(model.state.h).all()
+        assert abs(model.state.h.max() - ref.h.max()) / ref.h.max() < 0.01
+
+    def test_cfl_derived_dt(self):
+        mesh = CubedSphereMesh(ne=4)
+        model = ShallowWaterModel(mesh)
+        c = np.sqrt(C.GRAVITY * model.state.h.max())
+        dx = 2 * np.pi * mesh.radius / (4 * 4 * 3)
+        assert model.dt <= 0.3 * dx / c
+
+
+class TestPrimitiveEquationModel:
+    def test_rest_state_stays_at_rest(self):
+        cfg = ModelConfig(ne=4, nlev=8, qsize=1)
+        model = PrimitiveEquationModel(cfg, dt=600.0)
+        model.run_steps(5)
+        d = model.diagnostics()
+        assert d["max_wind"] < 1e-10
+        assert d["finite"] == 1.0
+
+    def test_mass_conservation_with_noise(self):
+        cfg = ModelConfig(ne=4, nlev=8, qsize=1)
+        model = PrimitiveEquationModel(cfg, dt=600.0)
+        rng = np.random.default_rng(0)
+        model.state.T = model.geom.dss(model.state.T + rng.standard_normal(model.state.T.shape))
+        m0 = model.diagnostics()["mass"]
+        model.run_steps(RSPLIT * 4)  # through several remap cycles
+        d = model.diagnostics()
+        assert d["finite"] == 1.0
+        assert abs(d["mass"] - m0) / m0 < 1e-9
+
+    def test_winds_develop_from_temperature_noise(self):
+        cfg = ModelConfig(ne=4, nlev=8, qsize=1)
+        model = PrimitiveEquationModel(cfg, dt=600.0)
+        rng = np.random.default_rng(1)
+        model.state.T = model.geom.dss(model.state.T + rng.standard_normal(model.state.T.shape))
+        model.run_steps(20)
+        d = model.diagnostics()
+        assert 0 < d["max_wind"] < 50.0
+        assert 9.5e4 < d["ps_min"] and d["ps_max"] < 1.1e5
+
+    def test_remap_happens_every_rsplit(self):
+        cfg = ModelConfig(ne=4, nlev=8, qsize=1)
+        model = PrimitiveEquationModel(cfg, dt=600.0)
+        rng = np.random.default_rng(2)
+        model.state.T = model.geom.dss(model.state.T + rng.standard_normal(model.state.T.shape))
+        model.run_steps(RSPLIT)
+        # Right after a remap, dp3d is uniform per column.
+        spread = model.state.dp3d.max(axis=1) - model.state.dp3d.min(axis=1)
+        assert np.abs(spread).max() < 1e-9
+
+    def test_forcing_hook_called(self):
+        calls = []
+
+        def forcing(state, geom, t, dt):
+            calls.append(t)
+            state.T += 0.0
+
+        cfg = ModelConfig(ne=4, nlev=8, qsize=0)
+        model = PrimitiveEquationModel(cfg, dt=600.0, forcing=forcing)
+        model.run_steps(3)
+        assert len(calls) == 3
+
+    def test_mesh_mismatch_rejected(self):
+        mesh = CubedSphereMesh(ne=6)
+        with pytest.raises(KernelError):
+            PrimitiveEquationModel(ModelConfig(ne=4, nlev=8), mesh=mesh)
+
+    def test_run_days(self):
+        cfg = ModelConfig(ne=4, nlev=8, qsize=0)
+        model = PrimitiveEquationModel(cfg, dt=1800.0, hypervis=False)
+        model.run_days(0.125)
+        assert model.t == pytest.approx(0.125 * 86400)
+
+
+class TestHaloExchanger:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        mesh = CubedSphereMesh(ne=4)
+        part = SFCPartition(4, 8)
+        return mesh, part, HaloExchanger(mesh, part)
+
+    def test_matches_serial_dss_scalar(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(0).standard_normal((mesh.nelem, 4, 4))
+        outs, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
+        assert np.allclose(hx.gather(outs), mesh.dss(f), atol=1e-13)
+
+    def test_matches_serial_dss_multifield(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(1).standard_normal((mesh.nelem, 4, 4, 3))
+        outs, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        assert np.allclose(hx.gather(outs), mesh.dss(f), atol=1e-13)
+
+    def test_classic_equals_overlap_numerically(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(2).standard_normal((mesh.nelem, 4, 4))
+        a, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
+        b, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_overlap_hides_communication(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(3).standard_normal((mesh.nelem, 4, 4, 8))
+        # Generous inner work so messages are fully hidden.
+        inner = [5e-3] * 8
+        bdry = [1e-3] * 8
+        _, rep_c = hx.exchange(
+            hx.scatter(f), SimMPI(8), mode="classic",
+            boundary_compute=bdry, inner_compute=inner,
+        )
+        _, rep_o = hx.exchange(
+            hx.scatter(f), SimMPI(8), mode="overlap",
+            boundary_compute=bdry, inner_compute=inner,
+        )
+        assert rep_o.max_time < rep_c.max_time
+
+    def test_classic_has_double_memcpy(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(4).standard_normal((mesh.nelem, 4, 4))
+        _, rep_c = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
+        _, rep_o = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        assert rep_c.memcpy_seconds == pytest.approx(2 * rep_o.memcpy_seconds)
+
+    def test_wrong_communicator_size(self, setup):
+        mesh, part, hx = setup
+        f = np.zeros((mesh.nelem, 4, 4))
+        with pytest.raises(KernelError):
+            hx.exchange(hx.scatter(f), SimMPI(4))
+
+    def test_unknown_mode(self, setup):
+        mesh, part, hx = setup
+        f = np.zeros((mesh.nelem, 4, 4))
+        with pytest.raises(KernelError):
+            hx.exchange(hx.scatter(f), SimMPI(8), mode="magic")
+
+    def test_scatter_gather_roundtrip(self, setup):
+        mesh, part, hx = setup
+        f = np.random.default_rng(5).standard_normal((mesh.nelem, 4, 4))
+        assert np.array_equal(hx.gather(hx.scatter(f)), f)

@@ -1,0 +1,149 @@
+"""Tests for spectral-element operators against analytic solutions."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.homme import operators as op
+from repro.homme.element import ElementGeometry
+from repro.mesh import CubedSphereMesh
+
+R = C.EARTH_RADIUS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = CubedSphereMesh(ne=8)
+    return mesh, ElementGeometry(mesh)
+
+
+class TestGradient:
+    def test_gradient_of_constant_is_zero(self, setup):
+        mesh, geom = setup
+        g = op.gradient_sphere(np.full((mesh.nelem, 4, 4), 7.0), geom)
+        assert np.abs(g).max() < 1e-18
+
+    def test_gradient_of_sin_lat(self, setup):
+        # |grad sin(lat)| = cos(lat)/R.
+        mesh, geom = setup
+        g = op.gradient_sphere(np.sin(mesh.lat), geom)
+        mag = np.sqrt(np.einsum("...kl,...k,...l->...", mesh.met, g, g))
+        assert np.allclose(mag * R, np.abs(np.cos(mesh.lat)), atol=5e-4)
+
+    def test_gradient_with_level_axis(self, setup):
+        mesh, geom = setup
+        f = np.sin(mesh.lat)
+        f3 = np.repeat(f[:, None], 5, axis=1)
+        g3 = op.gradient_sphere(f3, geom)
+        g1 = op.gradient_sphere(f, geom)
+        for l in range(5):
+            assert np.allclose(g3[:, l], g1)
+
+
+class TestDivergenceVorticity:
+    def test_solid_body_divergence_free(self, setup):
+        mesh, geom = setup
+        u = 40.0 * np.cos(mesh.lat)
+        vc = mesh.spherical_to_contravariant(u, np.zeros_like(u))
+        div = mesh.dss(op.divergence_sphere(vc, geom))
+        # Discretization error at ne=8 measured ~7e-4 (3rd-order at np=4).
+        assert np.abs(div).max() * R / 40.0 < 2e-3
+
+    def test_solid_body_vorticity(self, setup):
+        # zeta = 2 U sin(lat) / R for u = U cos(lat).
+        mesh, geom = setup
+        U = 40.0
+        vc = mesh.spherical_to_contravariant(
+            U * np.cos(mesh.lat), np.zeros_like(mesh.lat)
+        )
+        zeta = mesh.dss(op.vorticity_sphere(vc, geom))
+        assert np.allclose(zeta, 2 * U * np.sin(mesh.lat) / R, atol=2e-3 * 2 * U / R)
+
+    def test_divergence_of_gradient_is_laplacian(self, setup):
+        mesh, geom = setup
+        f = np.sin(mesh.lat)
+        lap = mesh.dss(op.laplace_sphere(f, geom))
+        # sin(lat) is the l=1 spherical harmonic: lap = -2 f / R^2.
+        # Second derivatives carry larger edge error (~1.3% at ne=8).
+        assert np.allclose(lap, -2 * f / R**2, atol=6e-2 / R**2)
+
+    def test_divergence_theorem(self, setup):
+        # Integral of div(v) over the closed sphere is zero.
+        mesh, geom = setup
+        rng = np.random.default_rng(0)
+        u = mesh.dss(rng.standard_normal(mesh.lat.shape))
+        v = mesh.dss(rng.standard_normal(mesh.lat.shape))
+        vc = mesh.spherical_to_contravariant(u, v)
+        div = op.divergence_sphere(vc, geom)
+        total = mesh.global_integral(div)
+        scale = mesh.global_integral(np.abs(div))
+        assert abs(total) / scale < 1e-10
+
+    def test_curl_of_gradient_vanishes(self, setup):
+        mesh, geom = setup
+        f = np.sin(2 * mesh.lon) * np.cos(mesh.lat) ** 2
+        g = op.gradient_sphere(f, geom)
+        zeta = mesh.dss(op.vorticity_sphere(g, geom))
+        scale = np.abs(g).max() / R
+        assert np.abs(zeta).max() / scale < 1e-6
+
+
+class TestKineticEnergyAndKCross:
+    def test_ke_of_zonal_wind(self, setup):
+        mesh, geom = setup
+        U = 30.0
+        u = U * np.cos(mesh.lat)
+        vc = mesh.spherical_to_contravariant(u, np.zeros_like(u))
+        ke = op.kinetic_energy(vc, geom)
+        assert np.allclose(ke, 0.5 * u**2, rtol=1e-9)
+
+    def test_k_cross_preserves_magnitude(self, setup):
+        mesh, geom = setup
+        rng = np.random.default_rng(1)
+        vc = mesh.spherical_to_contravariant(
+            rng.standard_normal(mesh.lat.shape), rng.standard_normal(mesh.lat.shape)
+        )
+        kx = op.k_cross(vc, geom)
+        m1 = op.kinetic_energy(vc, geom)
+        m2 = op.kinetic_energy(kx, geom)
+        assert np.allclose(m1, m2, rtol=1e-9)
+
+    def test_k_cross_is_rotation(self, setup):
+        # k x (k x v) = -v.
+        mesh, geom = setup
+        rng = np.random.default_rng(2)
+        vc = mesh.spherical_to_contravariant(
+            rng.standard_normal(mesh.lat.shape), rng.standard_normal(mesh.lat.shape)
+        )
+        kkx = op.k_cross(op.k_cross(vc, geom), geom)
+        assert np.allclose(kkx, -vc, rtol=1e-9, atol=1e-18)
+
+    def test_k_cross_orthogonal(self, setup):
+        # v . (k x v) = 0 in the metric inner product.
+        mesh, geom = setup
+        rng = np.random.default_rng(3)
+        vc = mesh.spherical_to_contravariant(
+            rng.standard_normal(mesh.lat.shape), rng.standard_normal(mesh.lat.shape)
+        )
+        kx = op.k_cross(vc, geom)
+        dot = np.einsum("...kl,...k,...l->...", mesh.met, vc, kx)
+        speed2 = 2 * op.kinetic_energy(vc, geom)
+        assert np.abs(dot).max() / speed2.max() < 1e-12
+
+
+class TestConvergence:
+    def test_gradient_converges_with_resolution(self):
+        # Y22-like smooth field (cos^2(lat) cos(2 lon) = x^2 - y^2 on the
+        # sphere): measured max-norm error drops ~6x from ne=4 to ne=8.
+        errs = []
+        for ne in (4, 8):
+            mesh = CubedSphereMesh(ne=ne)
+            geom = ElementGeometry(mesh)
+            f = np.cos(mesh.lat) ** 2 * np.cos(2 * mesh.lon)
+            g = op.gradient_sphere(f, geom)
+            mag2 = np.einsum("...kl,...k,...l->...", mesh.met, g, g)
+            dfdphi = -2 * np.cos(mesh.lat) * np.sin(mesh.lat) * np.cos(2 * mesh.lon)
+            dfdlam = -2 * np.cos(mesh.lat) ** 2 * np.sin(2 * mesh.lon)
+            exact = (dfdphi**2 + (dfdlam / np.cos(mesh.lat)) ** 2) / R**2
+            errs.append(np.abs(mag2 - exact).max() * R**2)
+        assert errs[1] < errs[0] / 4

@@ -1,0 +1,151 @@
+"""Tests for the history format and the serialized gather."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimMPIError
+from repro.io import (
+    HistoryReader,
+    HistoryWriter,
+    gather_cost_seconds,
+    gather_field,
+)
+from repro.mesh import SFCPartition
+from repro.network import SimMPI
+
+
+class TestHistoryFormat:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        path = tmp_path / "h0.camh"
+        w = HistoryWriter(path)
+        data = np.random.default_rng(0).standard_normal((6, 4, 4))
+        w.write("TS", 0.5, data)
+        r = HistoryReader(path)
+        rec = r.record("TS")
+        assert rec.time == 0.5
+        assert np.array_equal(rec.data, data)
+
+    def test_multiple_records_ordered(self, tmp_path):
+        path = tmp_path / "h1.camh"
+        w = HistoryWriter(path)
+        for day in range(5):
+            w.write("PS", float(day), np.full((3, 3), day, dtype=float))
+        r = HistoryReader(path)
+        recs = r.records()
+        assert len(recs) == 5
+        assert [rec.time for rec in recs] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert r.record("PS", index=3).data[0, 0] == 3.0
+
+    def test_mixed_names(self, tmp_path):
+        path = tmp_path / "h2.camh"
+        w = HistoryWriter(path)
+        w.write("T", 0.0, np.ones(4))
+        w.write("U", 0.0, np.zeros((2, 2)))
+        r = HistoryReader(path)
+        assert r.record("U").data.shape == (2, 2)
+        with pytest.raises(KeyError):
+            r.record("missing")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            HistoryReader(path)
+
+    def test_scalar_record(self, tmp_path):
+        path = tmp_path / "h3.camh"
+        w = HistoryWriter(path)
+        w.write("scalar", 1.0, np.array(42.0))
+        rec = HistoryReader(path).record("scalar")
+        assert rec.data == pytest.approx(42.0)
+
+
+class TestGather:
+    def test_functional_gather_reassembles(self):
+        part = SFCPartition(4, 6)
+        mpi = SimMPI(6)
+        rng = np.random.default_rng(1)
+        global_field = rng.standard_normal((96, 4, 4))
+        locals_ = [global_field[part.rank_elements(r)] for r in range(6)]
+        out = gather_field(mpi, part, locals_)
+        assert np.array_equal(out, global_field)
+
+    def test_gather_advances_root_clock(self):
+        part = SFCPartition(4, 4)
+        mpi = SimMPI(4)
+        locals_ = [np.ones((len(part.rank_elements(r)), 4, 4)) for r in range(4)]
+        gather_field(mpi, part, locals_)
+        assert mpi.now(0) > 0.0
+
+    def test_wrong_rank_count_rejected(self):
+        part = SFCPartition(4, 4)
+        with pytest.raises(SimMPIError):
+            gather_field(SimMPI(4), part, [np.ones((1, 4, 4))])
+
+    def test_cost_scales_with_bytes_and_ranks(self):
+        c1 = gather_cost_seconds(1e9, 1000)
+        c2 = gather_cost_seconds(2e9, 1000)
+        c3 = gather_cost_seconds(1e9, 100000)
+        assert c2 > c1
+        assert c3 > c1
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            gather_cost_seconds(-1, 10)
+
+
+class TestRestart:
+    def test_round_trip_bit_exact(self, tmp_path):
+        from repro.config import ModelConfig
+        from repro.homme.element import ElementGeometry, ElementState
+        from repro.io.restart import load_restart, save_restart
+        from repro.mesh import CubedSphereMesh
+
+        cfg = ModelConfig(ne=4, nlev=4, qsize=2)
+        mesh = CubedSphereMesh(4)
+        geom = ElementGeometry(mesh)
+        state = ElementState.isothermal_rest(geom, cfg)
+        rng = np.random.default_rng(3)
+        state.T += rng.standard_normal(state.T.shape)
+        state.v += rng.standard_normal(state.v.shape) * 1e-6
+        path = tmp_path / "restart.camh"
+        save_restart(path, state, cfg, t=1234.5)
+        loaded, cfg2, t = load_restart(path)
+        assert t == 1234.5
+        assert cfg2 == cfg
+        assert np.array_equal(loaded.T, state.T)
+        assert np.array_equal(loaded.v, state.v)
+        assert np.array_equal(loaded.dp3d, state.dp3d)
+        assert np.array_equal(loaded.qdp, state.qdp)
+
+    def test_restarted_run_continues_bitwise(self, tmp_path):
+        """Run 4 steps straight vs 2 + restart + 2: identical states."""
+        from repro.config import ModelConfig
+        from repro.homme.element import ElementGeometry, ElementState
+        from repro.homme.timestep import PrimitiveEquationModel
+        from repro.io.restart import load_restart, save_restart
+        from repro.mesh import CubedSphereMesh
+
+        cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+        mesh = CubedSphereMesh(4)
+        geom = ElementGeometry(mesh)
+        init = ElementState.isothermal_rest(geom, cfg)
+        rng = np.random.default_rng(4)
+        init.T = geom.dss(init.T + rng.standard_normal(init.T.shape))
+        init.qdp[:, 0] = 1e-3 * init.dp3d
+
+        straight = PrimitiveEquationModel(cfg, mesh=mesh, init=init.copy(), dt=600.0)
+        straight.run_steps(4)
+
+        half = PrimitiveEquationModel(cfg, mesh=mesh, init=init.copy(), dt=600.0)
+        half.run_steps(2)
+        path = tmp_path / "mid.camh"
+        save_restart(path, half.state, cfg, t=half.t)
+        loaded, cfg2, t = load_restart(path)
+        resumed = PrimitiveEquationModel(cfg2, mesh=mesh, init=loaded, dt=600.0)
+        resumed.step_count = 2  # keep the remap phase aligned
+        resumed.run_steps(2)
+
+        assert np.array_equal(resumed.state.T, straight.state.T)
+        assert np.array_equal(resumed.state.v, straight.state.v)
+        assert np.array_equal(resumed.state.qdp, straight.state.qdp)

@@ -1,0 +1,210 @@
+"""Tests for the Katrina experiment pieces: best track, vortex, tracker."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.config import ModelConfig
+from repro.homme.element import ElementGeometry, ElementState
+from repro.homme.rhs import PTOP, compute_rhs
+from repro.katrina.besttrack import (
+    GENESIS,
+    KATRINA_BEST_TRACK,
+    PEAK,
+    observed_msw_ms,
+    observed_track,
+)
+from repro.katrina.experiment import KatrinaExperiment
+from repro.katrina.track import VortexTracker
+from repro.katrina.vortex import (
+    VortexParameters,
+    great_circle,
+    plant_vortex,
+    tangential_wind,
+)
+from repro.mesh import CubedSphereMesh
+
+
+class TestBestTrack:
+    def test_six_hourly_coverage(self):
+        hours = [p.hours for p in KATRINA_BEST_TRACK]
+        assert hours[0] == 0 and hours[-1] == 180
+        assert all(b - a == 6 for a, b in zip(hours, hours[1:]))
+
+    def test_genesis_near_bahamas(self):
+        assert GENESIS.lat == pytest.approx(23.1)
+        assert GENESIS.lon == pytest.approx(-75.1)
+        assert GENESIS.max_wind_kt == 30
+
+    def test_peak_is_category5(self):
+        # 1800 UTC 28 August: 150 kt / 902 hPa.
+        assert PEAK.max_wind_kt == 150
+        assert PEAK.min_pressure_hpa == 902
+        assert PEAK.hours == 120
+
+    def test_pressure_wind_anticorrelation(self):
+        w = np.array([p.max_wind_kt for p in KATRINA_BEST_TRACK])
+        p_ = np.array([p.min_pressure_hpa for p in KATRINA_BEST_TRACK])
+        assert np.corrcoef(w, p_)[0, 1] < -0.9
+
+    def test_track_moves_west_then_north(self):
+        lons = [p.lon for p in KATRINA_BEST_TRACK]
+        lats = [p.lat for p in KATRINA_BEST_TRACK]
+        assert min(lons) < -89.0   # deep into the Gulf
+        assert lats[-1] > 38.0     # ends well inland to the north
+
+    def test_helpers(self):
+        assert len(observed_track()) == len(KATRINA_BEST_TRACK)
+        assert max(observed_msw_ms()) == pytest.approx(150 * 0.514444)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        d, _ = great_circle(0.5, 1.0, np.array(0.5), np.array(1.0), 6.4e6)
+        assert float(d) < 1.0
+
+    def test_quarter_circumference(self):
+        d, _ = great_circle(0.0, 0.0, np.array(np.pi / 2), np.array(0.0), 1.0)
+        assert float(d) == pytest.approx(np.pi / 2)
+
+    def test_bearing_north(self):
+        _, b = great_circle(0.0, 0.0, np.array(0.1), np.array(0.0), 1.0)
+        assert float(b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bearing_east(self):
+        _, b = great_circle(0.0, 0.0, np.array(0.0), np.array(0.1), 1.0)
+        assert float(b) == pytest.approx(np.pi / 2, abs=1e-9)
+
+
+class TestTangentialWind:
+    def test_maximum_at_rm(self):
+        p = VortexParameters()
+        r = np.linspace(1e3, 6e5, 2000)
+        v = tangential_wind(r, p)
+        assert abs(r[np.argmax(v)] - p.rm) < 5e3
+        assert v.max() == pytest.approx(p.vmax, rel=1e-3)
+
+    def test_decays_far_out(self):
+        p = VortexParameters()
+        v_far = tangential_wind(np.array([10 * p.rm]), p)
+        assert v_far[0] < 0.15 * p.vmax
+
+    def test_zero_at_center(self):
+        p = VortexParameters()
+        assert tangential_wind(np.array([1.0]), p)[0] < 2e-3
+
+
+class TestPlantVortex:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        cfg = ModelConfig(ne=8, nlev=8, qsize=1)
+        mesh = CubedSphereMesh(8, radius=C.EARTH_RADIUS / 10.0)
+        geom = ElementGeometry(mesh)
+        state = ElementState.isothermal_rest(geom, cfg, T0=300.0)
+        out = plant_vortex(state, geom)
+        return geom, state, out
+
+    def test_surface_pressure_depression(self, planted):
+        geom, base, out = planted
+        assert out.ps(PTOP).min() < base.ps(PTOP).min() - 500.0
+
+    def test_wind_magnitude_near_vmax(self, planted):
+        geom, base, out = planted
+        from repro.homme import operators as op
+
+        speed = np.sqrt(2 * op.kinetic_energy(out.v[:, -1], geom))
+        p = VortexParameters()
+        # Grid truncation loses some of the analytic peak.
+        assert 0.5 * p.vmax < speed.max() <= 1.2 * p.vmax
+
+    def test_warm_core_present(self, planted):
+        geom, base, out = planted
+        assert out.T.max() > base.T.max() + 0.5
+
+    def test_moist_core(self, planted):
+        geom, base, out = planted
+        q = out.qdp[:, 0] / out.dp3d
+        assert q.max() > 0.01  # near-saturated warm boundary layer
+
+    def test_initial_state_nearer_balance_than_pressure_only(self, planted):
+        """The gradient-wind construction beats an unbalanced vortex.
+
+        At marginal grid resolution the core's discrete residual is
+        O(signal), so the check is relative: the balanced (wind +
+        pressure) state must have a smaller mean acceleration than the
+        same pressure depression with no wind at all.
+        """
+        geom, base, out = planted
+        dv_bal, _, _ = compute_rhs(out, geom)
+        no_wind = out.copy()
+        no_wind.v[:] = 0.0
+        dv_unbal, _, _ = compute_rhs(no_wind, geom)
+        a_bal = np.abs(dv_bal).mean() * geom.radius
+        a_unbal = np.abs(dv_unbal).mean() * geom.radius
+        assert a_bal < a_unbal
+
+    def test_mass_changed_only_by_depression(self, planted):
+        geom, base, out = planted
+        # dp3d still positive everywhere.
+        assert out.dp3d.min() > 0
+
+
+class TestTracker:
+    def test_finds_planted_center(self):
+        cfg = ModelConfig(ne=8, nlev=8, qsize=1)
+        mesh = CubedSphereMesh(8, radius=C.EARTH_RADIUS / 10.0)
+        geom = ElementGeometry(mesh)
+        state = plant_vortex(
+            ElementState.isothermal_rest(geom, cfg, T0=300.0), geom
+        )
+        p = VortexParameters()
+        tracker = VortexTracker(
+            geom, p.center_lat_deg, p.center_lon_deg,
+            search_radius_m=8 * p.rm, storm_radius_m=4 * p.rm,
+        )
+        fx = tracker.fix(state, 0.0)
+        d, _ = great_circle(
+            np.deg2rad(fx.lat), np.deg2rad(fx.lon % 360),
+            np.array(np.deg2rad(p.center_lat_deg)),
+            np.array(np.deg2rad(p.center_lon_deg % 360)),
+            geom.radius,
+        )
+        # Within a grid cell of the planted center.
+        assert float(d) < 1.2e5
+        assert fx.msw_ms > 5.0
+        assert fx.min_ps_hpa < 1002.0
+
+    def test_track_error_metric(self):
+        cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+        mesh = CubedSphereMesh(4, radius=C.EARTH_RADIUS / 10.0)
+        geom = ElementGeometry(mesh)
+        state = plant_vortex(ElementState.isothermal_rest(geom, cfg), geom)
+        tracker = VortexTracker(geom, 23.1, -75.1, search_radius_m=1e6)
+        tracker.fix(state, 0.0)
+        err = tracker.track_error_km([(23.1, -75.1)], geom.radius)
+        assert err >= 0.0
+
+    def test_empty_comparison_rejected(self):
+        cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+        mesh = CubedSphereMesh(4, radius=C.EARTH_RADIUS / 10.0)
+        geom = ElementGeometry(mesh)
+        tracker = VortexTracker(geom, 23.0, -75.0)
+        with pytest.raises(ValueError):
+            tracker.track_error_km([(23.0, -75.0)], geom.radius)
+
+
+class TestExperimentSetup:
+    def test_effective_resolutions_bracket_threshold(self):
+        """Coarse above, fine below the ~50 km TC-resolving threshold
+        the paper cites."""
+        exp = KatrinaExperiment()
+        coarse_res = C.ne_resolution_km(exp.coarse_ne) / exp.x
+        fine_res = C.ne_resolution_km(exp.fine_ne) / exp.x
+        assert coarse_res > 50.0
+        assert fine_res < 50.0
+
+    def test_member_construction(self):
+        exp = KatrinaExperiment(coarse_ne=4, fine_ne=6, nlev=6, hours=1)
+        model, tracker = exp._build_member(4)
+        assert model.dt > 0
+        assert model.state.qdp.shape[1] == 1

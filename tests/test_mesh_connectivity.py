@@ -1,0 +1,88 @@
+"""Tests for structural connectivity, validated against geometric adjacency."""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh import CubeConnectivity, CubedSphereMesh
+
+
+def geometric_adjacency(mesh: CubedSphereMesh):
+    """Edge/corner adjacency from shared global GLL ids (ground truth)."""
+    gid2els = defaultdict(set)
+    for k in range(mesh.nelem):
+        for g in np.unique(mesh.gid[k]):
+            gid2els[g].add(k)
+    shared = defaultdict(lambda: defaultdict(int))
+    for els in gid2els.values():
+        for a in els:
+            for b in els:
+                if a != b:
+                    shared[a][b] += 1
+    edges = {k: {b for b, c in nb.items() if c >= 2} for k, nb in shared.items()}
+    corners = {k: {b for b, c in nb.items() if c == 1} for k, nb in shared.items()}
+    return edges, corners
+
+
+@pytest.mark.parametrize("ne", [2, 3, 4, 5, 8])
+def test_structural_matches_geometric(ne):
+    mesh = CubedSphereMesh(ne=ne)
+    conn = CubeConnectivity(ne)
+    geo_edges, geo_corners = geometric_adjacency(mesh)
+    for k in range(mesh.nelem):
+        st_edges = set(int(x) for x in conn.edge_neighbors[k])
+        st_corners = set(int(x) for x in conn.corner_neighbors[k] if x >= 0)
+        assert st_edges == geo_edges[k], f"ne={ne} element {k} edges"
+        assert st_corners == geo_corners[k], f"ne={ne} element {k} corners"
+
+
+class TestStructuralProperties:
+    def test_every_element_has_4_edge_neighbors(self):
+        conn = CubeConnectivity(6)
+        assert np.all(conn.edge_neighbors >= 0)
+        assert np.all(conn.edge_neighbors < conn.nelem)
+
+    def test_edge_adjacency_symmetric(self):
+        conn = CubeConnectivity(5)
+        for k in range(conn.nelem):
+            for nbr in conn.edge_neighbors[k]:
+                assert k in conn.edge_neighbors[nbr]
+
+    def test_exactly_24_missing_corners(self):
+        # 8 cube corners x 3 touching elements have no diagonal neighbor.
+        conn = CubeConnectivity(7)
+        assert int(np.sum(conn.corner_neighbors < 0)) == 24
+
+    def test_no_self_neighbors(self):
+        conn = CubeConnectivity(4)
+        k = np.arange(conn.nelem)
+        assert np.all(conn.edge_neighbors != k[:, None])
+
+    def test_eid_locate_roundtrip(self):
+        conn = CubeConnectivity(9)
+        k = np.arange(conn.nelem)
+        f, i, j = conn.locate(k)
+        assert np.array_equal(conn.eid(f, i, j), k)
+
+    def test_all_neighbors_count(self):
+        conn = CubeConnectivity(6)
+        counts = [len(conn.all_neighbors(k)) for k in range(conn.nelem)]
+        # Interior elements: 8; cube-corner elements: 7.
+        assert set(counts) == {7, 8}
+        assert counts.count(7) == 24
+
+    def test_large_ne_builds(self):
+        conn = CubeConnectivity(64)
+        assert conn.nelem == 24576  # paper Table 2 ne64
+        assert np.all(conn.edge_neighbors >= 0)
+
+    def test_invalid_ne(self):
+        with pytest.raises(MeshError):
+            CubeConnectivity(1)
+
+    def test_neighbor_matrix_shape(self):
+        conn = CubeConnectivity(4)
+        m = conn.neighbor_matrix()
+        assert m.shape == (96, 8)

@@ -1,0 +1,102 @@
+"""Tests for GLL quadrature and spectral derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh import gll_points, gll_weights, derivative_matrix
+from repro.mesh.gll import lagrange_basis
+
+
+class TestNodesWeights:
+    def test_np4_known_values(self):
+        # np=4 GLL nodes: +-1, +-1/sqrt(5); weights 1/6, 5/6.
+        x = gll_points(4)
+        assert np.allclose(x, [-1.0, -1 / np.sqrt(5), 1 / np.sqrt(5), 1.0])
+        w = gll_weights(4)
+        assert np.allclose(w, [1 / 6, 5 / 6, 5 / 6, 1 / 6])
+
+    def test_endpoints_included(self):
+        for n in range(2, 9):
+            x = gll_points(n)
+            assert x[0] == -1.0 and x[-1] == 1.0
+
+    def test_weights_sum_to_two(self):
+        for n in range(2, 9):
+            assert np.isclose(gll_weights(n).sum(), 2.0)
+
+    def test_symmetry(self):
+        for n in range(2, 9):
+            x = gll_points(n)
+            w = gll_weights(n)
+            assert np.allclose(x, -x[::-1])
+            assert np.allclose(w, w[::-1])
+
+    def test_quadrature_exactness(self):
+        # n-point GLL integrates polynomials up to degree 2n-3 exactly.
+        for n in range(2, 8):
+            x, w = gll_points(n), gll_weights(n)
+            for deg in range(0, 2 * n - 2):
+                exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+                assert np.isclose(np.sum(w * x**deg), exact, atol=1e-12), (n, deg)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            gll_points(1)
+
+    def test_arrays_read_only(self):
+        with pytest.raises(ValueError):
+            gll_points(4)[0] = 0.0
+
+
+class TestDerivativeMatrix:
+    def test_constant_derivative_zero(self):
+        D = derivative_matrix(4)
+        assert np.allclose(D @ np.ones(4), 0.0, atol=1e-13)
+
+    def test_exact_for_polynomials(self):
+        for n in range(2, 8):
+            D = derivative_matrix(n)
+            x = gll_points(n)
+            for deg in range(n):
+                f = x**deg
+                df = deg * x ** max(deg - 1, 0) if deg > 0 else np.zeros_like(x)
+                assert np.allclose(D @ f, df, atol=1e-10), (n, deg)
+
+    def test_integration_by_parts(self):
+        # GLL discrete summation-by-parts: w f (Dg) + w (Df) g = [fg]_{-1}^{1}.
+        n = 4
+        D, x, w = derivative_matrix(n), gll_points(n), gll_weights(n)
+        rng = np.random.default_rng(1)
+        f, g = rng.standard_normal(n), rng.standard_normal(n)
+        lhs = np.sum(w * f * (D @ g)) + np.sum(w * (D @ f) * g)
+        rhs = f[-1] * g[-1] - f[0] * g[0]
+        assert np.isclose(lhs, rhs, atol=1e-12)
+
+    @given(deg=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_np4_derivative_property(self, deg):
+        D, x = derivative_matrix(4), gll_points(4)
+        f = x**deg
+        expected = deg * x ** max(deg - 1, 0) if deg else np.zeros(4)
+        assert np.allclose(D @ f, expected, atol=1e-10)
+
+
+class TestLagrangeBasis:
+    def test_cardinality(self):
+        # Basis j is 1 at node j, 0 at others.
+        x = gll_points(4)
+        B = lagrange_basis(4, x)
+        assert np.allclose(B, np.eye(4), atol=1e-12)
+
+    def test_partition_of_unity(self):
+        xi = np.linspace(-1, 1, 17)
+        B = lagrange_basis(4, xi)
+        assert np.allclose(B.sum(axis=1), 1.0)
+
+    def test_interpolates_polynomials_exactly(self):
+        x = gll_points(4)
+        f = 2 * x**3 - x + 0.5
+        xi = np.linspace(-1, 1, 33)
+        B = lagrange_basis(4, xi)
+        assert np.allclose(B @ f, 2 * xi**3 - xi + 0.5, atol=1e-12)

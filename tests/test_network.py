@@ -1,0 +1,194 @@
+"""Tests for topology, cost model, and SimMPI (incl. overlap semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import constants as C
+from repro.errors import SimMPIError, TopologyError
+from repro.network import NetworkCostModel, SimMPI, TaihuLightTopology
+
+
+class TestTopology:
+    def test_full_machine_capacity(self):
+        t = TaihuLightTopology()
+        assert t.nodes == 40960
+        assert t.max_ranks == 163_840
+        assert t.supernodes == 160
+
+    def test_rank_placement(self):
+        t = TaihuLightTopology(nodes=512)
+        assert t.node_of_rank(0) == 0
+        assert t.node_of_rank(3) == 0
+        assert t.node_of_rank(4) == 1
+        assert t.supernode_of_rank(4 * 256 - 1) == 0
+        assert t.supernode_of_rank(4 * 256) == 1
+
+    def test_hops(self):
+        t = TaihuLightTopology(nodes=512)
+        assert t.hops(0, 1) == 0          # same node
+        assert t.hops(0, 4) == 1          # same supernode
+        assert t.hops(0, 4 * 256) == 2    # across supernodes
+
+    def test_out_of_range_rank(self):
+        t = TaihuLightTopology(nodes=2)
+        with pytest.raises(TopologyError):
+            t.node_of_rank(8)
+
+    def test_invalid_topology(self):
+        with pytest.raises(TopologyError):
+            TaihuLightTopology(nodes=0)
+
+
+class TestCostModel:
+    @pytest.fixture
+    def cm(self):
+        return NetworkCostModel(TaihuLightTopology(nodes=512))
+
+    def test_latency_ordering(self, cm):
+        assert cm.alpha(0) < cm.alpha(1) < cm.alpha(2)
+
+    def test_bandwidth_ordering(self, cm):
+        assert cm.beta(0) > cm.beta(1) > cm.beta(2)
+
+    def test_p2p_zero_bytes_is_latency(self, cm):
+        assert cm.p2p_time(0, 4, 0) == pytest.approx(cm.alpha(1))
+
+    def test_p2p_linear_in_size(self, cm):
+        t1 = cm.p2p_time(0, 4, 1 << 20)
+        t2 = cm.p2p_time(0, 4, 2 << 20)
+        assert t2 > t1
+        assert (t2 - cm.alpha(1)) == pytest.approx(2 * (t1 - cm.alpha(1)), rel=1e-6)
+
+    def test_negative_size_rejected(self, cm):
+        with pytest.raises(ValueError):
+            cm.p2p_time(0, 1, -1)
+
+    def test_allreduce_grows_logarithmically(self, cm):
+        t64 = cm.allreduce_time(64, 8)
+        t1024 = cm.allreduce_time(1024, 8)
+        # log2 ratio is 10/6; allow the supernode split to stretch it.
+        assert 1.2 < t1024 / t64 < 4.0
+
+    def test_allreduce_single_rank_free(self, cm):
+        assert cm.allreduce_time(1, 1024) == 0.0
+
+    def test_barrier_positive(self, cm):
+        assert cm.barrier_time(128) > 0
+
+
+class TestSimMPI:
+    def test_payload_delivery(self):
+        mpi = SimMPI(4)
+        data = np.arange(10.0)
+        mpi.isend(0, 3, data, tag=7)
+        req = mpi.irecv(3, 0, tag=7)
+        out = mpi.wait(req)
+        assert np.array_equal(out, data)
+
+    def test_payload_copied_at_send(self):
+        mpi = SimMPI(2)
+        data = np.ones(4)
+        mpi.isend(0, 1, data)
+        data[:] = 99.0
+        out = mpi.wait(mpi.irecv(1, 0))
+        assert np.all(out == 1.0)
+
+    def test_recv_clock_advances_by_transfer(self):
+        mpi = SimMPI(8)
+        mpi.isend(0, 4, np.zeros(1 << 14))
+        mpi.wait(mpi.irecv(4, 0))
+        assert mpi.now(4) > 0
+        assert mpi.now(0) == 0.0  # sender pays nothing here
+
+    def test_tags_disambiguate(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, np.array([1.0]), tag=1)
+        mpi.isend(0, 1, np.array([2.0]), tag=2)
+        assert mpi.wait(mpi.irecv(1, 0, tag=2))[0] == 2.0
+        assert mpi.wait(mpi.irecv(1, 0, tag=1))[0] == 1.0
+
+    def test_wait_without_send_raises(self):
+        mpi = SimMPI(2)
+        with pytest.raises(SimMPIError):
+            mpi.wait(mpi.irecv(1, 0))
+
+    def test_double_wait_raises(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, np.zeros(1))
+        req = mpi.irecv(1, 0)
+        mpi.wait(req)
+        with pytest.raises(SimMPIError):
+            mpi.wait(req)
+
+    def test_unknown_rank_rejected(self):
+        mpi = SimMPI(2)
+        with pytest.raises(SimMPIError):
+            mpi.isend(0, 5, np.zeros(1))
+
+    def test_overlap_hides_communication(self):
+        """The bndry_exchangev redesign in miniature: compute charged
+        between isend and wait absorbs the transfer time."""
+        big = np.zeros(1 << 18)
+
+        # Without overlap: recv waits the full transfer.
+        mpi1 = SimMPI(8)
+        mpi1.isend(0, 4, big)
+        mpi1.wait(mpi1.irecv(4, 0))
+        t_no_overlap = mpi1.now(4)
+
+        # With overlap: rank 4 computes while the message is in flight.
+        mpi2 = SimMPI(8)
+        mpi2.isend(0, 4, big)
+        req = mpi2.irecv(4, 0)
+        mpi2.compute(4, t_no_overlap)  # inner-element computation
+        mpi2.wait(req)
+        t_overlap = mpi2.now(4)
+
+        assert t_overlap == pytest.approx(t_no_overlap)
+        assert mpi2.comm_seconds[4] == pytest.approx(0.0)
+        assert mpi1.comm_seconds[4] > 0
+
+    def test_allreduce_sums_and_synchronizes(self):
+        mpi = SimMPI(4)
+        mpi.compute(2, 5.0)  # slowest rank
+        out = mpi.allreduce([np.full(3, float(r)) for r in range(4)])
+        assert np.allclose(out, 0 + 1 + 2 + 3)
+        for r in range(4):
+            assert mpi.now(r) >= 5.0
+
+    def test_allreduce_shape_mismatch(self):
+        mpi = SimMPI(2)
+        with pytest.raises(SimMPIError):
+            mpi.allreduce([np.zeros(2), np.zeros(3)])
+
+    def test_allreduce_wrong_count(self):
+        mpi = SimMPI(2)
+        with pytest.raises(SimMPIError):
+            mpi.allreduce([np.zeros(2)])
+
+    def test_barrier_synchronizes(self):
+        mpi = SimMPI(4)
+        mpi.compute(1, 3.0)
+        mpi.barrier()
+        times = [mpi.now(r) for r in range(4)]
+        assert max(times) - min(times) < 1e-12
+
+    def test_pending_messages(self):
+        mpi = SimMPI(2)
+        mpi.isend(0, 1, np.zeros(1))
+        assert mpi.pending_messages() == 1
+        mpi.wait(mpi.irecv(1, 0))
+        assert mpi.pending_messages() == 0
+
+    @given(nbytes=st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_arrival_monotone_in_size(self, nbytes):
+        mpi = SimMPI(8)
+        mpi.isend(0, 4, np.zeros(max(1, nbytes // 8)))
+        mpi.wait(mpi.irecv(4, 0))
+        small = mpi.now(4)
+        mpi2 = SimMPI(8)
+        mpi2.isend(0, 4, np.zeros(max(1, nbytes // 8) * 2))
+        mpi2.wait(mpi2.irecv(4, 0))
+        assert mpi2.now(4) >= small

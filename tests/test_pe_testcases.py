@@ -1,0 +1,102 @@
+"""Tests for the primitive-equation analytic test cases."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.homme.element import ElementGeometry
+from repro.homme.rhs import compute_rhs
+from repro.homme.testcases import (
+    add_temperature_bump,
+    steady_zonal_state,
+    zonal_wind_error,
+)
+from repro.homme.timestep import PrimitiveEquationModel
+from repro.mesh import CubedSphereMesh
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = ModelConfig(ne=6, nlev=8, qsize=0)
+    mesh = CubedSphereMesh(6)
+    geom = ElementGeometry(mesh)
+    return cfg, mesh, geom
+
+
+class TestSteadyZonalState:
+    def test_initial_tendencies_small(self, setup):
+        cfg, mesh, geom = setup
+        state = steady_zonal_state(geom, cfg, u0=20.0)
+        dv, dT, ddp = compute_rhs(state, geom)
+        # Acceleration far below the unbalanced scale u0*f ~ 2e-3 m/s2.
+        assert np.abs(dv).max() * geom.radius < 2e-4
+        assert np.abs(dT).max() < 5e-5
+
+    def test_surface_pressure_lower_at_poles(self, setup):
+        # The balancing ps dips toward the poles for westerly u0 > 0.
+        cfg, mesh, geom = setup
+        state = steady_zonal_state(geom, cfg, u0=20.0)
+        ps = state.ps()
+        polar = ps[np.abs(geom.lat) > 1.3]
+        tropical = ps[np.abs(geom.lat) < 0.2]
+        assert polar.mean() < tropical.mean() - 500.0
+
+    def test_one_day_drift_below_one_percent(self, setup):
+        cfg, mesh, geom = setup
+        state = steady_zonal_state(geom, cfg, u0=20.0)
+        model = PrimitiveEquationModel(cfg, mesh=mesh, init=state, dt=900.0)
+        model.run_steps(48)  # half a day
+        assert zonal_wind_error(model.state, geom, 20.0) < 0.01
+        assert model.diagnostics()["finite"] == 1.0
+
+    def test_mass_energy_conserved(self, setup):
+        cfg, mesh, geom = setup
+        state = steady_zonal_state(geom, cfg)
+        model = PrimitiveEquationModel(cfg, mesh=mesh, init=state, dt=900.0)
+        d0 = model.diagnostics()
+        model.run_steps(24)
+        d1 = model.diagnostics()
+        assert abs(d1["mass"] - d0["mass"]) / d0["mass"] < 1e-11
+        assert abs(d1["energy"] - d0["energy"]) / d0["energy"] < 1e-4
+
+
+class TestPerturbedJet:
+    def test_bump_raises_temperature_locally(self, setup):
+        cfg, mesh, geom = setup
+        base = steady_zonal_state(geom, cfg)
+        bumped = add_temperature_bump(base, geom, amplitude_k=2.0)
+        dT = bumped.T - base.T
+        assert dT.max() == pytest.approx(2.0, rel=0.1)
+        # Localized: most points unaffected.
+        assert np.mean(dT > 0.2) < 0.15
+
+    def test_perturbation_grows_then_stays_bounded(self, setup):
+        """The baroclinic-wave protocol: a seeded anomaly on the jet
+        develops (v wind appears) without blowing up."""
+        cfg, mesh, geom = setup
+        state = add_temperature_bump(
+            steady_zonal_state(geom, cfg, u0=25.0), geom, amplitude_k=2.0
+        )
+        model = PrimitiveEquationModel(cfg, mesh=mesh, init=state, dt=900.0)
+        model.run_steps(48)
+        d = model.diagnostics()
+        assert d["finite"] == 1.0
+        # Meridional flow developed out of the zonal jet.
+        err = zonal_wind_error(model.state, geom, 25.0)
+        assert err > 0.01
+        assert d["max_wind"] < 120.0
+
+    def test_perturbed_run_diverges_from_control(self, setup):
+        cfg, mesh, geom = setup
+        control = PrimitiveEquationModel(
+            cfg, mesh=mesh, init=steady_zonal_state(geom, cfg), dt=900.0
+        )
+        seeded = PrimitiveEquationModel(
+            cfg, mesh=mesh,
+            init=add_temperature_bump(steady_zonal_state(geom, cfg), geom),
+            dt=900.0,
+        )
+        control.run_steps(24)
+        seeded.run_steps(24)
+        diff = np.abs(seeded.state.T - control.state.T).max()
+        assert diff > 0.1

@@ -1,0 +1,60 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.perf.scaling import HommePerfModel
+from repro.sunway.power import (
+    EnergyReport,
+    machine_efficiency_check,
+    node_power,
+    run_energy,
+)
+
+
+class TestMachineConstants:
+    def test_linpack_efficiency_matches_paper(self):
+        chk = machine_efficiency_check()
+        # Paper: "a power efficiency of 6.06 GFlops / watt".
+        assert chk["linpack_gflops_per_watt"] == pytest.approx(6.06, rel=0.02)
+
+    def test_chip_efficiency_near_10(self):
+        chk = machine_efficiency_check()
+        # Paper: "a power efficiency of 10 GFlops/W" per processor.
+        assert chk["chip_gflops_per_watt"] == pytest.approx(10.0, rel=0.1)
+
+
+class TestNodePower:
+    def test_idle_below_full(self):
+        assert node_power(0.0) < node_power(1.0)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            node_power(1.5)
+
+
+class TestRunEnergy:
+    def test_node_rounding(self):
+        # 6 core groups -> 2 nodes.
+        rep = run_energy(6, 100.0, 1e12)
+        assert rep.nodes == 2
+
+    def test_gflops_per_watt_bounded_by_chip(self):
+        m = HommePerfModel(1024, 131072)
+        rep = run_energy(
+            131072, m.step_seconds, m.flops_per_step, utilization=0.8
+        )
+        chk = machine_efficiency_check()
+        assert 0 < rep.gflops_per_watt < chk["chip_gflops_per_watt"]
+
+    def test_full_machine_run_megawatts(self):
+        # The paper's full-machine run burns ~machine power.
+        m = HommePerfModel(4096, 155_000)
+        rep = run_energy(155_000, m.step_seconds * 1000, m.flops_per_step * 1000)
+        assert 10.0 < rep.megawatts < 20.0
+        assert rep.megawatt_hours > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            run_energy(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            run_energy(4, -1.0, 1.0)

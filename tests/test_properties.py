@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+These fuzz the load-bearing algebraic properties that many modules rely
+on: DSS is a linear idempotent projection, the simulated MPI delivers
+any posting order, partitions are exact covers at any rank count, and
+backend costs respond monotonically to workload size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import AthreadBackend, IntelBackend, KernelWorkload
+from repro.config import ModelConfig
+from repro.homme.element import ElementGeometry
+from repro.mesh import CubedSphereMesh, SFCPartition
+from repro.network import SimMPI
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return CubedSphereMesh(ne=4)
+
+
+@pytest.fixture(scope="module")
+def geom(mesh):
+    return ElementGeometry(mesh)
+
+
+class TestDSSAlgebra:
+    @given(seed=st.integers(0, 500), a=st.floats(-5, 5), b=st.floats(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, mesh, seed, a, b):
+        rng = np.random.default_rng(seed)
+        f = rng.standard_normal((mesh.nelem, 4, 4))
+        g = rng.standard_normal((mesh.nelem, 4, 4))
+        lhs = mesh.dss(a * f + b * g)
+        rhs = a * mesh.dss(f) + b * mesh.dss(g)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_projection_idempotent(self, mesh, seed):
+        f = np.random.default_rng(seed).standard_normal((mesh.nelem, 4, 4))
+        once = mesh.dss(f)
+        assert np.allclose(mesh.dss(once), once, atol=1e-12)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_conserves_weighted_integral(self, mesh, seed):
+        f = np.random.default_rng(seed).standard_normal((mesh.nelem, 4, 4))
+        assert np.isclose(
+            mesh.global_integral(mesh.dss(f)),
+            mesh.global_integral(f),
+            rtol=1e-10,
+        )
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_vector_dss_idempotent(self, mesh, geom, seed):
+        rng = np.random.default_rng(seed)
+        v = mesh.spherical_to_contravariant(
+            rng.standard_normal(mesh.lat.shape),
+            rng.standard_normal(mesh.lat.shape),
+        )
+        once = geom.dss_vector(v)
+        assert np.allclose(geom.dss_vector(once), once, atol=1e-18)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_dss_is_contraction_in_range(self, mesh, seed):
+        """Averaging shared points cannot create new extrema."""
+        f = np.random.default_rng(seed).standard_normal((mesh.nelem, 4, 4))
+        g = mesh.dss(f)
+        assert g.max() <= f.max() + 1e-12
+        assert g.min() >= f.min() - 1e-12
+
+
+class TestSimMPIFuzz:
+    @given(
+        order=st.permutations(list(range(6))),
+        nbytes=st.integers(1, 2000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_posting_order_delivers(self, order, nbytes):
+        """All-to-one with sends posted in arbitrary order."""
+        mpi = SimMPI(7)
+        for src in order:
+            mpi.isend(src, 6, np.full(nbytes // 8 + 1, float(src)), tag=src)
+        for src in sorted(order):
+            data = mpi.wait(mpi.irecv(6, src, tag=src))
+            assert np.all(data == float(src))
+        assert mpi.pending_messages() == 0
+
+    @given(seeds=st.lists(st.integers(0, 5), min_size=2, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_per_route(self, seeds):
+        mpi = SimMPI(2)
+        for s in seeds:
+            mpi.isend(0, 1, np.array([float(s)]))
+        got = [float(mpi.wait(mpi.irecv(1, 0))[0]) for _ in seeds]
+        assert got == [float(s) for s in seeds]
+
+    @given(n=st.integers(2, 32))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_equals_sum(self, n):
+        mpi = SimMPI(n)
+        out = mpi.allreduce([np.array([float(r), 1.0]) for r in range(n)])
+        assert out[0] == pytest.approx(n * (n - 1) / 2)
+        assert out[1] == pytest.approx(float(n))
+
+
+class TestPartitionFuzz:
+    @given(ne=st.sampled_from([3, 4, 6]), nranks=st.integers(1, 54))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_cover(self, ne, nranks):
+        nranks = min(nranks, 6 * ne * ne)
+        p = SFCPartition(ne, nranks)
+        seen = np.concatenate([p.rank_elements(r) for r in range(nranks)])
+        assert len(seen) == 6 * ne * ne
+        assert len(np.unique(seen)) == len(seen)
+
+    @given(ne=st.sampled_from([4, 6]), nranks=st.integers(2, 24))
+    @settings(max_examples=20, deadline=None)
+    def test_halo_edges_symmetric(self, ne, nranks):
+        p = SFCPartition(ne, nranks)
+        for r in range(nranks):
+            for peer, (e, c) in p.halo(r).neighbors.items():
+                assert p.halo(peer).neighbors[r] == (e, c)
+
+
+class TestBackendMonotonicity:
+    @given(scale=st.floats(1.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_more_flops_never_faster(self, scale):
+        base = KernelWorkload("k", flops=1e10, unique_bytes=1e9)
+        big = KernelWorkload("k", flops=1e10 * scale, unique_bytes=1e9)
+        for backend in (IntelBackend(), AthreadBackend()):
+            assert backend.execute(big).seconds >= backend.execute(base).seconds
+
+    @given(scale=st.floats(1.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_more_bytes_never_faster(self, scale):
+        base = KernelWorkload("k", flops=1e9, unique_bytes=1e9)
+        big = KernelWorkload("k", flops=1e9, unique_bytes=1e9 * scale)
+        for backend in (IntelBackend(), AthreadBackend()):
+            assert backend.execute(big).seconds >= backend.execute(base).seconds
+
+
+class TestConfigFuzz:
+    @given(ne=st.integers(2, 512))
+    @settings(max_examples=40, deadline=None)
+    def test_resolution_timestep_product(self, ne):
+        """dt * ne is constant: the CFL family the paper's runs follow."""
+        cfg = ModelConfig(ne=ne, nlev=8)
+        assert cfg.dt_dynamics * ne == pytest.approx(9000.0)
+
+    @given(ne=st.integers(2, 128), nproc=st.integers(1, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_elements_per_process_bounds(self, ne, nproc):
+        cfg = ModelConfig(ne=ne, nlev=8)
+        nproc = min(nproc, cfg.nelem)
+        epp = cfg.elements_per_process(nproc)
+        assert epp * nproc >= cfg.nelem
+        assert (epp - 1) * nproc < cfg.nelem

@@ -1,0 +1,31 @@
+"""Tests for the experiment runner CLI (python -m repro)."""
+
+import pytest
+
+from repro.experiments.runner import DRIVERS, main
+
+
+class TestRunnerCLI:
+    def test_single_cheap_driver(self, capsys):
+        rc = main(["table1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "table1" in out
+        assert "ALL SHAPE CHECKS PASS" in out
+
+    def test_multiple_drivers(self, capsys):
+        rc = main(["figure5", "table3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "figure5" in out and "table3" in out
+
+    def test_unknown_driver_rejected(self, capsys):
+        rc = main(["figure99"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_driver_registry_complete(self):
+        assert set(DRIVERS) == {
+            "table1", "figure5", "figure6", "figure7", "figure8",
+            "table3", "figure4", "figure9",
+        }

@@ -1,0 +1,155 @@
+"""Tests for the DMA engine: efficiency curve, functional moves, overlap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DMAError
+from repro.sunway import DMAEngine
+from repro.sunway.dma import dma_efficiency
+from repro.sunway.spec import DEFAULT_SPEC
+
+
+class TestEfficiencyCurve:
+    def test_monotone_in_block_size(self):
+        sizes = [32, 64, 128, 256, 512, 1024, 4096, 16384]
+        effs = [dma_efficiency(s) for s in sizes]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_saturates_at_peak(self):
+        assert dma_efficiency(1 << 20) <= 0.9
+        assert dma_efficiency(1 << 20) > 0.85
+
+    def test_small_blocks_inefficient(self):
+        assert dma_efficiency(32) < 0.15
+
+    def test_stride_penalty(self):
+        assert dma_efficiency(256, stride_bytes=4096) < dma_efficiency(256)
+
+    def test_stride_floor(self):
+        # Even badly strided access keeps >= 25% of its contiguous rate.
+        contiguous = dma_efficiency(1024)
+        strided = dma_efficiency(1024, stride_bytes=1 << 20)
+        assert strided >= 0.25 * contiguous * 0.99
+
+    def test_invalid_size(self):
+        with pytest.raises(DMAError):
+            dma_efficiency(0)
+
+
+class TestFunctionalTransfers:
+    def test_get_moves_data(self):
+        eng = DMAEngine()
+        src = np.arange(64, dtype=np.float64)
+        dst = np.zeros(64)
+        eng.get(src, dst)
+        assert np.array_equal(dst, src)
+        assert eng.bytes_get == 512
+
+    def test_put_moves_data(self):
+        eng = DMAEngine()
+        src = np.full(16, 7.0)
+        dst = np.zeros(16)
+        eng.put(src, dst)
+        assert np.all(dst == 7.0)
+        assert eng.bytes_put == 128
+
+    def test_size_mismatch_rejected(self):
+        eng = DMAEngine()
+        with pytest.raises(DMAError):
+            eng.get(np.zeros(4), np.zeros(8))
+
+    def test_counters_accumulate(self):
+        eng = DMAEngine()
+        a, b = np.zeros(8), np.zeros(8)
+        eng.get(a, b)
+        eng.put(b, a)
+        assert eng.transfer_count == 2
+        assert eng.total_bytes == 128
+        assert eng.total_cycles > 0
+
+    def test_reset_counters(self):
+        eng = DMAEngine()
+        eng.charge_get(1024)
+        eng.reset_counters()
+        assert eng.total_bytes == 0
+        assert eng.total_cycles == 0
+
+
+class TestCostModel:
+    def test_startup_dominates_small(self):
+        eng = DMAEngine()
+        c = eng.transfer_cycles(32)
+        assert c >= DEFAULT_SPEC.dma_startup_cycles
+
+    def test_large_transfer_near_bandwidth(self):
+        eng = DMAEngine(bandwidth_share=1.0)
+        nbytes = 1 << 22
+        cycles = eng.transfer_cycles(nbytes)
+        seconds = cycles / DEFAULT_SPEC.clock_hz
+        ideal = nbytes / DEFAULT_SPEC.cg_memory_bandwidth
+        assert seconds == pytest.approx(ideal, rel=0.15)
+
+    def test_many_small_slower_than_one_large(self):
+        """The Athread lesson: one 4 KB get beats 64 tiny 64 B gets."""
+        eng = DMAEngine()
+        one = eng.transfer_cycles(4096)
+        many = 64 * eng.transfer_cycles(64)
+        assert many > 5 * one
+
+    def test_bandwidth_share_scales_cost(self):
+        lone = DMAEngine(bandwidth_share=1.0).transfer_cycles(1 << 20)
+        shared = DMAEngine(bandwidth_share=1 / 64).transfer_cycles(1 << 20)
+        assert shared > 30 * lone
+
+    def test_invalid_share(self):
+        with pytest.raises(DMAError):
+            DMAEngine(bandwidth_share=0.0)
+
+
+class TestDoubleBuffering:
+    def test_overlap_hides_transfer_under_compute(self):
+        eng = DMAEngine()
+        req = eng.prefetch(4096)
+        visible = eng.overlap_cost(req, compute_cycles=10 * req.cycles)
+        assert visible == pytest.approx(10 * req.cycles)
+
+    def test_overlap_exposes_transfer_when_compute_short(self):
+        eng = DMAEngine()
+        req = eng.prefetch(1 << 20)
+        visible = eng.overlap_cost(req, compute_cycles=1.0)
+        assert visible == pytest.approx(req.cycles)
+
+    def test_double_complete_rejected(self):
+        eng = DMAEngine()
+        req = eng.prefetch(128)
+        eng.overlap_cost(req, 1.0)
+        with pytest.raises(DMAError):
+            eng.overlap_cost(req, 1.0)
+
+    def test_prefetch_counts_traffic(self):
+        eng = DMAEngine()
+        eng.prefetch(2048)
+        assert eng.bytes_get == 2048
+
+
+class TestPropertyBased:
+    @given(nbytes=st.integers(min_value=8, max_value=1 << 22))
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_positive_and_superlinear_floor(self, nbytes):
+        eng = DMAEngine()
+        c = eng.transfer_cycles(nbytes)
+        assert c >= DEFAULT_SPEC.dma_startup_cycles
+        # Cost at least the peak-bandwidth streaming time.
+        ideal = nbytes / eng.bandwidth * DEFAULT_SPEC.clock_hz
+        assert c >= ideal * 0.99
+
+    @given(
+        a=st.integers(min_value=64, max_value=1 << 16),
+        b=st.integers(min_value=64, max_value=1 << 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_splitting_never_cheaper(self, a, b):
+        """Transferring a+b as one descriptor never costs more than two."""
+        eng = DMAEngine()
+        assert eng.transfer_cycles(a + b) <= eng.transfer_cycles(a) + eng.transfer_cycles(b) + 1e-9

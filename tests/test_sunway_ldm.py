@@ -1,0 +1,179 @@
+"""Tests for the LDM scratchpad allocator: capacity, fragmentation, arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LDMAllocationError, LDMOverflowError
+from repro.sunway import LDM
+
+
+class TestAllocation:
+    def test_capacity_default_64k(self):
+        assert LDM().capacity == 64 * 1024
+
+    def test_alloc_reduces_free(self):
+        ldm = LDM(1024)
+        ldm.alloc(512, "a")
+        assert ldm.used == 512
+        assert ldm.free_bytes == 512
+
+    def test_alignment_to_32(self):
+        ldm = LDM(1024)
+        b = ldm.alloc(33, "a")
+        assert b.size == 64
+
+    def test_overflow_raises_with_details(self):
+        ldm = LDM(1024)
+        with pytest.raises(LDMOverflowError) as e:
+            ldm.alloc(2048, "big")
+        assert e.value.requested == 2048
+        assert e.value.available == 1024
+        assert "big" in str(e.value)
+
+    def test_exact_fit(self):
+        ldm = LDM(1024)
+        ldm.alloc(1024)
+        assert ldm.free_bytes == 0
+        with pytest.raises(LDMOverflowError):
+            ldm.alloc(32)
+
+    def test_zero_or_negative_alloc_rejected(self):
+        ldm = LDM(1024)
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc(0)
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc(-8)
+
+
+class TestFreeAndCoalesce:
+    def test_free_returns_space(self):
+        ldm = LDM(1024)
+        b = ldm.alloc(512)
+        ldm.free(b)
+        assert ldm.used == 0
+        assert ldm.largest_free_block == 1024
+
+    def test_double_free_rejected(self):
+        ldm = LDM(1024)
+        b = ldm.alloc(512)
+        ldm.free(b)
+        with pytest.raises(LDMAllocationError):
+            ldm.free(b)
+
+    def test_coalescing_enables_large_alloc(self):
+        ldm = LDM(1024)
+        a = ldm.alloc(256)
+        b = ldm.alloc(256)
+        c = ldm.alloc(256)
+        ldm.free(a)
+        ldm.free(b)
+        # 512 coalesced at the front.
+        assert ldm.would_fit(512)
+        ldm.free(c)
+        assert ldm.largest_free_block == 1024
+
+    def test_fragmentation_blocks_large_alloc(self):
+        ldm = LDM(1024)
+        a = ldm.alloc(256)
+        b = ldm.alloc(256)
+        c = ldm.alloc(256)
+        ldm.free(a)
+        ldm.free(c)
+        # Two disjoint free extents of 256 each (one mid-hole, one tail 256+256).
+        assert not ldm.would_fit(768)
+
+    def test_high_water_tracks_peak(self):
+        ldm = LDM(1024)
+        a = ldm.alloc(512)
+        b = ldm.alloc(256)
+        ldm.free(a)
+        ldm.free(b)
+        assert ldm.high_water == 768
+        assert ldm.used == 0
+
+    def test_reset_clears_everything(self):
+        ldm = LDM(1024)
+        ldm.alloc(512)
+        ldm.reset()
+        assert ldm.used == 0
+        assert ldm.largest_free_block == 1024
+
+
+class TestArrays:
+    def test_alloc_array_shape_dtype(self):
+        ldm = LDM()
+        arr = ldm.alloc_array((4, 4, 16), dtype=np.float64, label="tile")
+        assert arr.shape == (4, 4, 16)
+        assert arr.dtype == np.float64
+        assert np.all(arr == 0)
+
+    def test_array_writes_persist(self):
+        ldm = LDM()
+        arr = ldm.alloc_array(8)
+        arr[:] = np.arange(8)
+        assert arr.sum() == 28
+
+    def test_free_array(self):
+        ldm = LDM(1024)
+        arr = ldm.alloc_array(16)  # 16 doubles = 128 B, already 32-aligned
+        assert ldm.used == 128
+        ldm.free_array(arr)
+        assert ldm.used == 0
+
+    def test_free_foreign_array_rejected(self):
+        ldm = LDM()
+        with pytest.raises(LDMAllocationError):
+            ldm.free_array(np.zeros(4))
+
+    def test_element_tile_fits_64k(self):
+        # The Athread plan: one element's 4x4 x 16-layer tile of a few
+        # fields must fit the LDM; 6 fields x 4*4*16*8B = 12 KB.
+        ldm = LDM()
+        tiles = [ldm.alloc_array((4, 4, 16), label=f"f{i}") for i in range(6)]
+        assert ldm.used <= ldm.capacity
+        for t in tiles:
+            ldm.free_array(t)
+
+    def test_full_column_does_not_fit(self):
+        # The motivating constraint: a whole 128-level element for several
+        # fields exceeds 64 KB, forcing the layer decomposition.
+        ldm = LDM()
+        for i in range(4):  # 4 x 16 KB fills the LDM exactly
+            ldm.alloc_array((4, 4, 128), label=f"f{i}")
+        with pytest.raises(LDMOverflowError):
+            ldm.alloc_array((4, 4, 128), label="f4")
+
+
+class TestPropertyBased:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=50)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_invariants(self, sizes):
+        """used + free == capacity always; freeing all restores capacity."""
+        ldm = LDM(64 * 1024)
+        blocks = []
+        for s in sizes:
+            try:
+                blocks.append(ldm.alloc(s))
+            except LDMOverflowError:
+                break
+            assert ldm.used + ldm.free_bytes == ldm.capacity
+            assert ldm.used <= ldm.capacity
+        for b in blocks:
+            ldm.free(b)
+        assert ldm.used == 0
+        assert ldm.largest_free_block == ldm.capacity
+
+    @given(
+        order=st.permutations(list(range(8))),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_free_order_irrelevant_for_coalescing(self, order):
+        """Freeing blocks in any order fully coalesces the free list."""
+        ldm = LDM(8 * 1024)
+        blocks = [ldm.alloc(1024) for _ in range(8)]
+        for i in order:
+            ldm.free(blocks[i])
+        assert ldm.largest_free_block == 8 * 1024

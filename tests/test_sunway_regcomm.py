@@ -1,0 +1,132 @@
+"""Tests for register communication: routing rules, scan, XOR exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RegCommError
+from repro.sunway import CPEMeshComm
+
+
+@pytest.fixture
+def mesh():
+    return CPEMeshComm()
+
+
+class TestRouting:
+    def test_same_row_allowed(self, mesh):
+        mesh.send((2, 0), (2, 7), np.array([1.0]))
+        assert mesh.pending((2, 7), (2, 0)) == 1
+
+    def test_same_column_allowed(self, mesh):
+        mesh.send((0, 3), (7, 3), np.array([1.0]))
+        assert mesh.pending((7, 3), (0, 3)) == 1
+
+    def test_diagonal_rejected(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.send((0, 0), (1, 1), np.array([1.0]))
+
+    def test_self_send_rejected(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.send((3, 3), (3, 3), np.array([1.0]))
+
+    def test_off_mesh_rejected(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.send((0, 0), (0, 8), np.array([1.0]))
+        with pytest.raises(RegCommError):
+            mesh.send((8, 0), (0, 0), np.array([1.0]))
+
+    def test_recv_without_send_rejected(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.recv((0, 1), (0, 0))
+
+    def test_fifo_order(self, mesh):
+        mesh.send((0, 0), (0, 1), np.array([1.0]))
+        mesh.send((0, 0), (0, 1), np.array([2.0]))
+        assert mesh.recv((0, 1), (0, 0))[0] == 1.0
+        assert mesh.recv((0, 1), (0, 0))[0] == 2.0
+
+
+class TestCosts:
+    def test_single_register_latency(self, mesh):
+        c = mesh.send((0, 0), (0, 1), np.zeros(4))
+        assert c == mesh.spec.regcomm_latency_cycles
+
+    def test_payload_chunking(self, mesh):
+        c = mesh.send((0, 0), (0, 1), np.zeros(9))  # 3 registers
+        assert c == 3 * mesh.spec.regcomm_latency_cycles
+
+    def test_counters(self, mesh):
+        mesh.send((0, 0), (0, 1), np.zeros(8))
+        assert mesh.transfer_count == 2
+        assert mesh.total_cycles > 0
+
+
+class TestColumnScan:
+    def test_exclusive_prefix_sums(self, mesh):
+        vals = np.arange(64, dtype=float).reshape(8, 8)
+        out, cycles = mesh.column_scan(vals)
+        for c in range(8):
+            expected = np.concatenate([[0.0], np.cumsum(vals[:-1, c])])
+            assert np.allclose(out[:, c], expected)
+
+    def test_critical_path_cycles(self, mesh):
+        _, cycles = mesh.column_scan(np.ones((8, 8)))
+        assert cycles == 7 * mesh.spec.regcomm_latency_cycles
+
+    def test_shape_enforced(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.column_scan(np.ones((4, 8)))
+
+    @given(
+        vals=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=64,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scan_matches_numpy(self, vals):
+        mesh = CPEMeshComm()
+        arr = np.array(vals).reshape(8, 8)
+        out, _ = mesh.column_scan(arr)
+        expected = np.vstack([np.zeros(8), np.cumsum(arr, axis=0)[:-1]])
+        assert np.allclose(out, expected, atol=1e-6)
+
+
+class TestRowBroadcast:
+    def test_values_replicated(self, mesh):
+        vals = np.arange(8, dtype=float)
+        out, _ = mesh.row_broadcast(vals)
+        assert out.shape == (8, 8)
+        for r in range(8):
+            assert np.all(out[r] == vals[r])
+
+
+class TestExchangePhase:
+    def test_phase_swaps_pairs(self, mesh):
+        blocks = {i: np.full((4, 4), float(i)) for i in range(8)}
+        out, _ = mesh.exchange_phase(blocks, phase=1)
+        for i in range(8):
+            assert np.all(out[i] == float(i ^ 1))
+
+    def test_all_phases_cover_all_pairs(self, mesh):
+        """Running phases 1..7 routes every block through every peer slot."""
+        seen_pairs = set()
+        for phase in range(1, 8):
+            blocks = {i: np.array([float(i)]) for i in range(8)}
+            out, _ = mesh.exchange_phase(blocks, phase)
+            for i in range(8):
+                seen_pairs.add((i, int(out[i][0])))
+        assert seen_pairs == {(i, j) for i in range(8) for j in range(8) if i != j}
+
+    def test_invalid_phase(self, mesh):
+        blocks = {i: np.zeros(1) for i in range(8)}
+        with pytest.raises(RegCommError):
+            mesh.exchange_phase(blocks, 0)
+        with pytest.raises(RegCommError):
+            mesh.exchange_phase(blocks, 8)
+
+    def test_incomplete_blocks_rejected(self, mesh):
+        with pytest.raises(RegCommError):
+            mesh.exchange_phase({0: np.zeros(1)}, 1)

@@ -1,0 +1,111 @@
+"""Tests for the vector unit: shuffle semantics, 4x4 transpose, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sunway import VectorUnit, shuffle, transpose4x4
+
+
+class TestShuffle:
+    def test_paper_example_semantics(self):
+        # Figure 3 example: positions 0 and 2 of a, positions 0 and 1 of b.
+        a = np.array([10.0, 11.0, 12.0, 13.0])
+        b = np.array([20.0, 21.0, 22.0, 23.0])
+        out = shuffle(a, b, (0, 2, 0, 1))
+        assert np.array_equal(out, [10.0, 12.0, 20.0, 21.0])
+
+    def test_identity_mask(self):
+        a = np.arange(4.0)
+        b = np.arange(4.0, 8.0)
+        out = shuffle(a, b, (0, 1, 2, 3))
+        assert np.array_equal(out, [0.0, 1.0, 6.0, 7.0])
+
+    def test_bad_operand_shape(self):
+        with pytest.raises(ValueError):
+            shuffle(np.zeros(3), np.zeros(4), (0, 1, 2, 3))
+
+    def test_bad_mask(self):
+        with pytest.raises(ValueError):
+            shuffle(np.zeros(4), np.zeros(4), (0, 1, 2, 4))
+        with pytest.raises(ValueError):
+            shuffle(np.zeros(4), np.zeros(4), (0, 1, 2))
+
+
+class TestTranspose4x4:
+    def test_transposes(self):
+        m = np.arange(16.0).reshape(4, 4)
+        out, n = transpose4x4(m)
+        assert np.array_equal(out, m.T)
+
+    def test_uses_exactly_8_shuffles(self):
+        # The paper's Figure 3: "a 4 by 4 matrix transposition by using 8
+        # shuffle operations".
+        _, n = transpose4x4(np.eye(4))
+        assert n == 8
+
+    def test_involution(self):
+        m = np.random.default_rng(0).random((4, 4))
+        once, _ = transpose4x4(m)
+        twice, _ = transpose4x4(once)
+        assert np.allclose(twice, m)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            transpose4x4(np.zeros((4, 3)))
+
+    @given(
+        vals=st.lists(
+            st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+            min_size=16, max_size=16,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_transpose(self, vals):
+        m = np.array(vals).reshape(4, 4)
+        out, _ = transpose4x4(m)
+        assert np.array_equal(out, m.T)
+
+
+class TestVectorUnit:
+    def test_add_counts_flops_and_instructions(self):
+        vu = VectorUnit()
+        vu.add(np.ones(8), np.ones(8))
+        assert vu.flops == 8
+        assert vu.instructions == 2  # 8 elements / 4 lanes
+
+    def test_partial_vector_rounds_up(self):
+        vu = VectorUnit()
+        vu.mul(np.ones(5), np.ones(5))
+        assert vu.instructions == 2  # 5 elements still need 2 issues
+
+    def test_fmadd_two_flops_per_element(self):
+        vu = VectorUnit()
+        out = vu.fmadd(np.full(4, 2.0), np.full(4, 3.0), np.full(4, 1.0))
+        assert np.all(out == 7.0)
+        assert vu.flops == 8
+
+    def test_transpose_block_counts_shuffles(self):
+        vu = VectorUnit()
+        vu.transpose_block(np.eye(4))
+        assert vu.shuffles == 8
+        assert vu.instructions == 8
+
+    def test_cycles_scale_with_efficiency(self):
+        vu = VectorUnit()
+        vu.add(np.ones(64), np.ones(64))
+        assert vu.cycles(0.5) == pytest.approx(2 * vu.cycles(1.0))
+
+    def test_bad_efficiency(self):
+        vu = VectorUnit()
+        with pytest.raises(ValueError):
+            vu.cycles(0.0)
+        with pytest.raises(ValueError):
+            vu.cycles(1.5)
+
+    def test_reset(self):
+        vu = VectorUnit()
+        vu.add(np.ones(4), np.ones(4))
+        vu.reset()
+        assert vu.flops == 0
+        assert vu.instructions == 0

@@ -1,0 +1,92 @@
+"""Tests for repro.utils: SimClock, Timer, tables, RunLog."""
+
+import pytest
+
+from repro.utils import SimClock, Timer, render_table, RunLog
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == pytest.approx(2.0)
+
+    def test_advance_to_only_forward(self):
+        c = SimClock()
+        c.advance(5.0)
+        c.advance_to(3.0)
+        assert c.now == 5.0
+        c.advance_to(7.0)
+        assert c.now == 7.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(1.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer("k")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= 0.0
+        assert t.mean == pytest.approx(t.total / 2)
+
+    def test_double_start_rejected(self):
+        t = Timer("k")
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer("k").stop()
+
+    def test_mean_of_empty_is_zero(self):
+        assert Timer("k").mean == 0.0
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        out = render_table(["kernel", "time"], [["euler_step", 10.18]])
+        assert "kernel" in out
+        assert "euler_step" in out
+        assert "10.18" in out
+
+    def test_title_line(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_alignment_consistent_width(self):
+        out = render_table(["x", "yyyy"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) <= 2  # header+rows aligned
+
+
+class TestRunLog:
+    def test_record_and_query(self):
+        log = RunLog("t")
+        log.record("sypd", 21.5, ne=30)
+        log.record("sypd", 3.4, ne=120)
+        assert log.values("sypd") == [21.5, 3.4]
+        assert log.last("sypd") == 3.4
+        assert log.last("missing", default=0) == 0
+        assert len(log) == 2
+
+    def test_summary_mentions_events(self):
+        log = RunLog("t")
+        log.record("pflops", 3.3)
+        assert "pflops" in log.summary()

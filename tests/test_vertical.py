@@ -1,0 +1,73 @@
+"""Tests for the hybrid sigma-pressure vertical coordinate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.homme.vertical import HybridCoordinate
+
+
+class TestCoefficients:
+    def test_cam_like_boundary_conditions(self):
+        h = HybridCoordinate.cam_like(30)
+        assert h.hybi[0] == 0.0          # pure pressure at the top
+        assert h.hyai[-1] == 0.0         # pure sigma at the surface
+        assert h.hybi[-1] == 1.0
+
+    def test_monotone_interfaces(self):
+        h = HybridCoordinate.cam_like(30)
+        assert np.all(np.diff(h.hyai + h.hybi) > 0)
+
+    def test_reference_ps_recovers_sigma(self):
+        """At ps = p0 the hybrid levels coincide with uniform sigma."""
+        h = HybridCoordinate.cam_like(16, ptop=219.0)
+        p_int = h.interface_pressures(np.array(100000.0))
+        sigma = np.linspace(219.0 / 1e5, 1.0, 17) * 1e5
+        assert np.allclose(p_int, sigma, atol=1e-6)
+
+    def test_invalid_coefficients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridCoordinate(hyai=np.array([0.1, 0.0]), hybi=np.array([0.5, 1.0]))
+        with pytest.raises(ConfigurationError):
+            HybridCoordinate.cam_like(1)
+
+
+class TestReferenceDp:
+    def test_thicknesses_sum_to_column(self):
+        h = HybridCoordinate.cam_like(24)
+        ps = np.array([98000.0, 100000.0, 102000.0])
+        dp = h.reference_dp(ps)
+        assert np.allclose(dp.sum(axis=0), ps - 219.0)
+
+    def test_top_layers_pressure_like(self):
+        """Near the top, thickness barely depends on ps (B ~ 0) — the
+        terrain-decoupling property of the hybrid coordinate."""
+        h = HybridCoordinate.cam_like(24)
+        dp_low = h.reference_dp(np.array(95000.0))
+        dp_high = h.reference_dp(np.array(105000.0))
+        top_var = abs(dp_high[0] - dp_low[0]) / dp_low[0]
+        sfc_var = abs(dp_high[-1] - dp_low[-1]) / dp_low[-1]
+        assert top_var < 0.3 * sfc_var
+
+    def test_elementwise_layout(self):
+        h = HybridCoordinate.cam_like(8)
+        ps = np.full((5, 4, 4), 100000.0)
+        dp = h.reference_dp_elementwise(ps)
+        assert dp.shape == (5, 8, 4, 4)
+        assert np.all(dp > 0)
+
+    def test_remap_integration(self):
+        """The hybrid reference grid works as a remap target."""
+        from repro.homme.remap import remap_ppm
+
+        h = HybridCoordinate.cam_like(12)
+        rng = np.random.default_rng(0)
+        ps = np.full(6, 100000.0)
+        dp_tgt = h.reference_dp(ps).T          # (cols, L)
+        dp_src = dp_tgt * (1.0 + 0.05 * rng.standard_normal(dp_tgt.shape))
+        dp_src *= (dp_tgt.sum(axis=1) / dp_src.sum(axis=1))[:, None]
+        a = rng.random((6, 12)) + 1.0
+        out = remap_ppm(a, dp_src, dp_tgt)
+        assert np.allclose(
+            (out * dp_tgt).sum(axis=1), (a * dp_src).sum(axis=1), rtol=1e-10
+        )

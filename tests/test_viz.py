@@ -1,0 +1,54 @@
+"""Tests for the ASCII map renderer."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import CubedSphereMesh
+from repro.utils.viz import ascii_map, latlon_grid
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return CubedSphereMesh(ne=4)
+
+
+class TestLatlonGrid:
+    def test_constant_field_constant_grid(self, mesh):
+        g = latlon_grid(mesh, np.full(mesh.lat.shape, 5.0))
+        assert np.allclose(g, 5.0)
+
+    def test_zonal_gradient_preserved(self, mesh):
+        g = latlon_grid(mesh, np.sin(mesh.lat), nlat=12)
+        # South rows below north rows.
+        assert g[0].mean() < g[-1].mean()
+
+    def test_shape_validation(self, mesh):
+        with pytest.raises(ValueError):
+            latlon_grid(mesh, np.zeros((3, 4, 4)))
+
+    def test_no_nans(self, mesh):
+        g = latlon_grid(mesh, np.cos(mesh.lon), nlat=30, nlon=90)
+        assert np.isfinite(g).all()
+
+
+class TestAsciiMap:
+    def test_renders_rows(self, mesh):
+        out = ascii_map(mesh, np.sin(mesh.lat), nlat=10, nlon=40, title="T")
+        lines = out.splitlines()
+        assert len(lines) == 11  # title + rows
+        assert all(len(l) == 40 for l in lines[1:])
+
+    def test_extremes_use_ramp_ends(self, mesh):
+        out = ascii_map(mesh, np.sin(mesh.lat), nlat=10, nlon=40)
+        assert "@" in out and " " in out
+
+    def test_marker_drawn(self, mesh):
+        out = ascii_map(
+            mesh, np.zeros(mesh.lat.shape), nlat=10, nlon=40,
+            marker=(23.0, -75.0),
+        )
+        assert "X" in out
+
+    def test_title_includes_range(self, mesh):
+        out = ascii_map(mesh, np.sin(mesh.lat), title="field")
+        assert "field" in out.splitlines()[0]
