@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fault-tolerant integration: surviving a hostile full machine.
+
+The paper's headline runs — 10.6 M cores integrating Katrina at 750 m
+for days — only complete because the software outlives the machine's
+bad moods: a laggard node here, a lost message there, the occasional
+bit flipped in a DMA transfer.  This walkthrough injects all three into
+a Katrina-style distributed primitive-equations run and shows the
+resilience subsystem healing each one:
+
+1. a **dropped halo message** is retransmitted with exponential backoff
+   from the sender's posted copy (SimMPI keeps it precisely for this);
+2. a **laggard rank** (4x slowdown) stretches the simulated wall clock
+   but never touches the numerics;
+3. a **sign-flipped dp3d value** (silent data corruption) is caught by
+   the post-step validator, the run rolls back to the last CRC32-clean
+   checkpoint and re-executes the lost steps.
+
+The proof of correctness is at the end: the faulty run's final state is
+*bitwise identical* to a fault-free reference.
+
+Run:  python examples/fault_tolerant_run.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.homme.distributed import DistributedPrimitiveEquations
+from repro.homme.element import ElementGeometry, ElementState
+from repro.mesh import CubedSphereMesh
+from repro.resilience import (
+    BitFlip,
+    Checkpointer,
+    FaultInjector,
+    ResilientRunner,
+    StateValidator,
+)
+
+NSTEPS = 4
+DT = 600.0
+
+
+def build_model(faults=None):
+    """A small vortex-perturbed primitive-equations setup (Katrina in
+    miniature: a warm perturbation on an isothermal atmosphere)."""
+    cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+    mesh = CubedSphereMesh(4)
+    geom = ElementGeometry(mesh)
+    state = ElementState.isothermal_rest(geom, cfg)
+    rng = np.random.default_rng(2005)  # Katrina's year
+    state.T = geom.dss(state.T + rng.standard_normal(state.T.shape))
+    state.qdp[:, 0] = 1e-3 * state.dp3d
+    return DistributedPrimitiveEquations(
+        cfg, mesh, state, nranks=4, dt=DT, faults=faults
+    )
+
+
+def main() -> None:
+    print("Reference: fault-free distributed run")
+    ref = build_model()
+    ref.run_steps(NSTEPS)
+    g_ref = ref.gather_state()
+    t_ref = ref.max_rank_time()
+    print(f"  {NSTEPS} steps, simulated wall time {t_ref * 1e3:.3f} ms\n")
+
+    print("Faulty run: one drop, one laggard, one DMA-style bit flip")
+    faults = FaultInjector(
+        seed=7,
+        drop_messages=[5],            # 6th halo message vanishes in flight
+        laggards={1: 4.0},            # rank 1 sits on a slow node
+        bitflips=[BitFlip(step=3, field_name="dp3d", rank=2, word=11, bit=63)],
+    )
+    model = build_model(faults=faults)
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        runner = ResilientRunner(
+            model,
+            Checkpointer(ckpt_dir, cadence=2),
+            validator=StateValidator(),
+            faults=faults,
+        )
+        report = runner.run(NSTEPS)
+
+    for line in report.log:
+        print(f"  [event] {line}")
+    print(f"  faults fired: {report.fault_summary}")
+    print(f"  retransmissions: {model.mpi.retransmissions}")
+    print(f"  rollbacks: {report.rollbacks}, re-executed steps: {report.resteps}")
+    print(f"  checkpoints written: {report.checkpoints}\n")
+
+    t_faulty = model.max_rank_time()
+    g = model.gather_state()
+    bitwise = all(
+        np.array_equal(getattr(g, f), getattr(g_ref, f))
+        for f in ("v", "T", "dp3d", "qdp")
+    )
+    print("Outcome")
+    print(f"  final state bitwise identical to fault-free run: {bitwise}")
+    print(f"  simulated wall time {t_faulty * 1e3:.3f} ms "
+          f"({t_faulty / t_ref:.1f}x the clean run — the price of the "
+          "laggard, the timeout windows, and the rollback)")
+    print()
+    print("The machine misbehaved; the trajectory did not.")
+
+
+if __name__ == "__main__":
+    main()

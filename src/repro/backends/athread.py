@@ -23,8 +23,7 @@ cannot be written.
 
 from __future__ import annotations
 
-from .. import constants as C
-from ..errors import LDMOverflowError
+from ..errors import LDMOverflowError, ResilienceError
 from .base import Backend, KernelReport, KernelWorkload
 
 #: Fraction of DMA streaming that double buffering cannot hide
@@ -41,21 +40,42 @@ TRANSPOSE_CYCLES_PER_POINT = 1.2
 
 
 class AthreadBackend(Backend):
-    """64 CPEs with explicit DMA, regcomm, and manual vectorization."""
+    """64 CPEs with explicit DMA, regcomm, and manual vectorization.
+
+    ``healthy_cpes`` enables graceful degradation: a cluster with k < 64
+    surviving CPEs re-tiles each kernel's work evenly over the
+    survivors, so compute-bound kernels slow down by 64/k while the
+    memory-bound roofline term is unchanged (the shared channel does not
+    care which cores drive it).  The report carries the degradation
+    factor so perf models can attribute the slowdown.
+    """
 
     name = "athread"
 
-    def __init__(self, spec=None) -> None:
+    def __init__(self, spec=None, healthy_cpes: int | None = None) -> None:
         from ..sunway.spec import DEFAULT_SPEC
 
         self.spec = spec or DEFAULT_SPEC
+        if healthy_cpes is None:
+            healthy_cpes = self.spec.cpes_per_cg
+        if not (1 <= healthy_cpes <= self.spec.cpes_per_cg):
+            raise ResilienceError(
+                f"healthy_cpes must be in 1..{self.spec.cpes_per_cg}, "
+                f"got {healthy_cpes}"
+            )
+        self.healthy_cpes = healthy_cpes
+
+    @property
+    def degradation(self) -> float:
+        """Compute slowdown factor from failed CPEs (1.0 = healthy)."""
+        return self.spec.cpes_per_cg / self.healthy_cpes
 
     def execute(self, wl: KernelWorkload) -> KernelReport:
         spec = self.spec
         if wl.ldm_tile_bytes > spec.ldm_bytes:
             raise LDMOverflowError(wl.ldm_tile_bytes, spec.ldm_bytes, wl.name)
 
-        cluster_peak = spec.cg_peak_flops
+        cluster_peak = spec.cg_peak_flops / self.degradation
         # The layer decomposition + regcomm scan parallelize the former
         # serial fraction; its cost appears as explicit scan hops below.
         compute = wl.flops / (cluster_peak * wl.vec_athread)
@@ -94,5 +114,7 @@ class AthreadBackend(Backend):
                 "scan_seconds": scan,
                 "transpose_seconds": transpose,
                 "ldm_tile_bytes": wl.ldm_tile_bytes,
+                "healthy_cpes": self.healthy_cpes,
+                "degradation": self.degradation,
             },
         )

@@ -22,7 +22,6 @@ compiler (Section 7.3):
 
 from __future__ import annotations
 
-from .. import constants as C
 from .base import Backend, KernelReport, KernelWorkload
 
 #: Kernel-launch overhead per accelerated region [s] (spawn + join of

@@ -9,7 +9,7 @@ accessed variables into the local fast buffer of the CPE").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import FootprintError
 from .ir import LoopNest
@@ -68,7 +68,7 @@ class FootprintAnalyzer:
         """
         for v in parallel_vars:
             nest.loop(v)  # validates
-        inner = [l for l in nest.loops if l.var not in parallel_vars]
+        inner = [lp for lp in nest.loops if lp.var not in parallel_vars]
         if tile_var is None and inner:
             tile_var = inner[0].var
         if tile_var is not None and tile_var in parallel_vars:
@@ -106,7 +106,7 @@ class FootprintAnalyzer:
         # any non-parallel loop other than the tile var — the same tile
         # is needed by consecutive iterations, so keep it in LDM.
         resident = []
-        other_inner = [l.var for l in inner if l.var != tile_var]
+        other_inner = [lp.var for lp in inner if lp.var != tile_var]
         for arr in nest.arrays():
             accs = [a for a in nest.accesses if a.array.name == arr.name]
             reused = any(

@@ -104,7 +104,7 @@ def parse_fortran_kernel(
         # Assignment statement: extract references.
         if "=" in line:
             lhs, rhs = line.split("=", 1)
-            loop_vars = {l.var for l in loops}
+            loop_vars = {lp.var for lp in loops}
             for side, is_write in ((lhs, True), (rhs, False)):
                 for ref in _REF_RE.finditer(side):
                     arr_name, idx = ref.group(1), ref.group(2)

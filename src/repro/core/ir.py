@@ -11,7 +11,7 @@ parallelized while the element loop can.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TranslationError
 
@@ -97,10 +97,10 @@ class LoopNest:
         if not self.loops:
             raise TranslationError(f"nest {self.name}: needs at least one loop")
         seen = set()
-        for l in self.loops:
-            if l.var in seen:
-                raise TranslationError(f"nest {self.name}: duplicate loop var {l.var}")
-            seen.add(l.var)
+        for lp in self.loops:
+            if lp.var in seen:
+                raise TranslationError(f"nest {self.name}: duplicate loop var {lp.var}")
+            seen.add(lp.var)
         for a in self.accesses:
             for v in a.index_map:
                 if v is not None and v not in seen:
@@ -111,16 +111,16 @@ class LoopNest:
 
     def loop(self, var: str) -> Loop:
         """The loop with variable ``var``."""
-        for l in self.loops:
-            if l.var == var:
-                return l
+        for lp in self.loops:
+            if lp.var == var:
+                return lp
         raise TranslationError(f"nest {self.name}: no loop {var!r}")
 
     @property
     def total_trips(self) -> int:
         n = 1
-        for l in self.loops:
-            n *= l.trips
+        for lp in self.loops:
+            n *= lp.trips
         return n
 
     @property

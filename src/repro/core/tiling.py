@@ -9,9 +9,8 @@ cleanly is a plan that cannot be written on the machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..errors import LDMOverflowError
 from ..sunway.ldm import LDM
 from .footprint import FootprintReport
 

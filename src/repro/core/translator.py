@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import TranslationError
-from .ir import Access, Loop, LoopNest
+from .ir import Loop, LoopNest
 
 #: CPEs a collapsed loop must be able to occupy.
 CLUSTER_WIDTH = 64
@@ -61,10 +61,10 @@ class LoopTransformer:
     def collapsible_prefix(self, nest: LoopNest) -> list[Loop]:
         """Outermost contiguous dependence-free loops (collapse candidates)."""
         out = []
-        for l in nest.loops:
-            if l.carries_dependence:
+        for lp in nest.loops:
+            if lp.carries_dependence:
                 break
-            out.append(l)
+            out.append(lp)
         return out
 
     def transform(self, nest: LoopNest) -> TranslationResult:
@@ -77,7 +77,7 @@ class LoopTransformer:
                 collapsed=(),
                 parallel_trips=1,
                 reread_factor=1.0,
-                serial_vars=tuple(l.var for l in nest.loops),
+                serial_vars=tuple(lp.var for lp in nest.loops),
             )
         # Collapse outermost loops until the cluster is comfortably
         # oversubscribed (4x for load balance across uneven element
@@ -85,12 +85,12 @@ class LoopTransformer:
         # the collapsed set must be a contiguous prefix.
         collapsed: list[Loop] = []
         trips = 1
-        for l in prefix:
-            collapsed.append(l)
-            trips *= l.trips
+        for lp in prefix:
+            collapsed.append(lp)
+            trips *= lp.trips
             if trips >= 4 * self.cluster_width:
                 break
-        collapsed_vars = tuple(l.var for l in collapsed)
+        collapsed_vars = tuple(lp.var for lp in collapsed)
 
         # Arrays not indexed by every collapsed var get re-read once per
         # iteration of the vars they ignore (no code can be inserted
@@ -101,14 +101,14 @@ class LoopTransformer:
         for arr in nest.arrays():
             reads = [a for a in nest.accesses if a.array.name == arr.name]
             factor = 1
-            for l in collapsed:
-                if not any(a.uses_loop(l.var) for a in reads):
-                    factor *= l.trips
+            for lp in collapsed:
+                if not any(a.uses_loop(lp.var) for a in reads):
+                    factor *= lp.trips
             copyin[arr.name] = factor
             unique_bytes += arr.nbytes
             moved_bytes += arr.nbytes * factor
         serial_vars = tuple(
-            l.var for l in nest.loops if l.carries_dependence
+            lp.var for lp in nest.loops if lp.carries_dependence
         )
         return TranslationResult(
             nest=nest.name,
@@ -129,9 +129,9 @@ class LoopTransformer:
         """
         trips = 1
         collapsed = []
-        for l in nest.loops:
-            collapsed.append(l.var)
-            trips *= l.trips if not l.carries_dependence else mesh_rows
+        for lp in nest.loops:
+            collapsed.append(lp.var)
+            trips *= lp.trips if not lp.carries_dependence else mesh_rows
             if trips >= self.cluster_width and len(collapsed) >= 1:
                 pass  # keep going: Athread tiles all levels explicitly
         copyin = {arr.name: 1 for arr in nest.arrays()}

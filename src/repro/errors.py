@@ -42,6 +42,20 @@ class SimMPIError(ReproError):
     mismatched message sizes, unknown rank)."""
 
 
+class SimMPITimeoutError(SimMPIError):
+    """Raised when a receive exhausts its retry budget: the matching
+    message was dropped and every retransmission was dropped too."""
+
+
+class ResilienceError(ReproError):
+    """Raised when fault recovery fails (rollback budget exhausted,
+    no healthy CPEs left in a core group, unrecoverable state)."""
+
+
+class CheckpointCorruptError(ResilienceError):
+    """Raised when a checkpoint fails its CRC32 integrity check on load."""
+
+
 class MeshError(ReproError):
     """Raised for invalid mesh construction or connectivity queries."""
 

@@ -39,12 +39,20 @@ MEMCPY_BANDWIDTH = C.SW_MEMORY_BANDWIDTH / C.SW_CORE_GROUPS
 
 @dataclass
 class ExchangeReport:
-    """Timing summary of one exchange (simulated seconds)."""
+    """Timing summary of one exchange (simulated seconds).
+
+    ``dropped``/``retransmissions`` count fault-injected losses healed
+    by SimMPI's retransmit protocol during this exchange — the DSS
+    result is unaffected (the sender's copy is re-posted verbatim), but
+    the waiting rank's clock shows the timeout windows it rode out.
+    """
 
     mode: str
     rank_times: list[float] = field(default_factory=list)
     comm_wait: list[float] = field(default_factory=list)
     memcpy_seconds: float = 0.0
+    dropped: int = 0
+    retransmissions: int = 0
 
     @property
     def max_time(self) -> float:
@@ -172,6 +180,8 @@ class HaloExchanger:
             flats.append(f.reshape(-1, k))
 
         report = ExchangeReport(mode=mode)
+        dropped0 = mpi.messages_dropped
+        retrans0 = mpi.retransmissions
         accs = []
 
         # Phase 1: compute + pack + send on every rank.
@@ -226,6 +236,8 @@ class HaloExchanger:
 
         report.rank_times = [mpi.now(r) for r in range(self.nranks)]
         report.comm_wait = list(mpi.comm_seconds)
+        report.dropped = mpi.messages_dropped - dropped0
+        report.retransmissions = mpi.retransmissions - retrans0
         return outs, report
 
     # -- helpers for tests/benches --------------------------------------------------

@@ -6,7 +6,7 @@ import numpy as np
 
 from .. import constants as C
 from .element import ElementGeometry, ElementState
-from .rhs import PTOP, compute_pressure, compute_geopotential
+from .rhs import PTOP
 from . import operators as op
 
 

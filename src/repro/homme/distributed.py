@@ -39,6 +39,7 @@ class DistributedShallowWater:
         dt: float | None = None,
         mode: str = "overlap",
         compute_cost_per_element: float = 1.0e-5,
+        faults=None,
     ) -> None:
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
@@ -47,7 +48,7 @@ class DistributedShallowWater:
         self.mode = mode
         self.part = SFCPartition(mesh.ne, nranks)
         self.hx = HaloExchanger(mesh, self.part)
-        self.mpi = SimMPI(nranks)
+        self.mpi = SimMPI(nranks, faults=faults)
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
@@ -65,6 +66,7 @@ class DistributedShallowWater:
             dt = 0.25 * dx / c
         self.dt = dt
         self.t = 0.0
+        self.step_count = 0
         self._tag = 0
         # Simulated kernel cost attribution for the overlap window.
         self._cost = compute_cost_per_element
@@ -135,10 +137,41 @@ class DistributedShallowWater:
         s2 = self._stage(s0, s1, self.dt / 2.0)
         self.states = self._stage(s0, s2, self.dt)
         self.t += self.dt
+        self.step_count += 1
 
     def run_steps(self, n: int) -> None:
         for _ in range(n):
             self.step()
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Everything needed to continue the trajectory bitwise.
+
+        Per-rank prognostic arrays plus the scalar counters (model time,
+        step count, exchange tag — the tag matters because message
+        matching keys on it).
+        """
+        snap: dict[str, np.ndarray] = {
+            "meta": np.array([self.t, self.step_count, self._tag], dtype=np.float64)
+        }
+        for r, s in enumerate(self.states):
+            snap[f"h_{r}"] = s.h.copy()
+            snap[f"v_{r}"] = s.v.copy()
+        return snap
+
+    def restore_snapshot(self, snap: dict[str, np.ndarray]) -> None:
+        """Reset the prognostic state from a :meth:`snapshot` dict."""
+        if f"h_{self.nranks - 1}" not in snap or f"h_{self.nranks}" in snap:
+            raise KernelError("snapshot rank count does not match this model")
+        t, steps, tag = (float(x) for x in snap["meta"])
+        self.t = t
+        self.step_count = int(steps)
+        self._tag = int(tag)
+        self.states = [
+            SWState(h=snap[f"h_{r}"].copy(), v=snap[f"v_{r}"].copy())
+            for r in range(self.nranks)
+        ]
 
     # -- gathering / diagnostics ------------------------------------------------------
 
@@ -176,6 +209,7 @@ class DistributedPrimitiveEquations:
         nranks: int,
         dt: float,
         mode: str = "overlap",
+        faults=None,
     ) -> None:
         from ..homme.hypervis import nu_for_ne
 
@@ -188,7 +222,7 @@ class DistributedPrimitiveEquations:
         self.dt = dt
         self.part = SFCPartition(mesh.ne, nranks)
         self.hx = HaloExchanger(mesh, self.part)
-        self.mpi = SimMPI(nranks)
+        self.mpi = SimMPI(nranks, faults=faults)
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
@@ -214,10 +248,16 @@ class DistributedPrimitiveEquations:
         return outs
 
     def _dss_levels(self, fields):
-        """DSS (E_r, L, n, n) fields: levels move to the trailing axis."""
+        """DSS (E_r, L, n, n) fields: levels move to the trailing axis.
+
+        Outputs are made contiguous so the state's memory layout — and
+        therefore every subsequent reduction's rounding — is identical
+        whether the state came from stepping or from a restored
+        checkpoint (bitwise restart depends on this).
+        """
         moved = [np.moveaxis(f, 1, -1) for f in fields]
         out = self._exchange(moved)
-        return [np.moveaxis(f, -1, 1) for f in out]
+        return [np.ascontiguousarray(np.moveaxis(f, -1, 1)) for f in out]
 
     def _dss_vector_levels(self, vs):
         """DSS (E_r, L, n, n, 2) contravariant fields via Cartesian form."""
@@ -236,7 +276,11 @@ class DistributedPrimitiveEquations:
             cov = self.mesh.radius * np.einsum(
                 "...xc,...x->...c", g.e_cov[:, None], w
             )
-            out.append(np.einsum("...ij,...j->...i", g.metinv[:, None], cov))
+            out.append(
+                np.ascontiguousarray(
+                    np.einsum("...ij,...j->...i", g.metinv[:, None], cov)
+                )
+            )
         return out
 
     # -- one distributed dynamics step ------------------------------------------------
@@ -262,7 +306,6 @@ class DistributedPrimitiveEquations:
 
     def step(self) -> None:
         from .euler import advect_qdp, limit_qdp
-        from .hypervis import biharmonic_dp3d, hypervis_stable_subcycles
         from .remap import vertical_remap
         from .timestep import RSPLIT
         from . import operators as op
@@ -309,8 +352,8 @@ class DistributedPrimitiveEquations:
                 )
                 with np.errstate(divide="ignore", invalid="ignore"):
                     scale = np.where(after > 0, before / after, 0.0)
-                limited = [l * np.clip(scale, 0.0, None)[None, :, None, None]
-                           for l in limited]
+                limited = [arr * np.clip(scale, 0.0, None)[None, :, None, None]
+                           for arr in limited]
                 limited = self._dss_levels(limited)
                 for r in range(self.nranks):
                     s3[r].qdp[:, q] = limited[r]
@@ -349,6 +392,34 @@ class DistributedPrimitiveEquations:
     def run_steps(self, n: int) -> None:
         for _ in range(n):
             self.step()
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Everything needed to continue the trajectory bitwise."""
+        snap: dict[str, np.ndarray] = {
+            "meta": np.array([self.t, self.step_count, self._tag], dtype=np.float64)
+        }
+        for r, s in enumerate(self.states):
+            snap[f"v_{r}"] = s.v.copy()
+            snap[f"T_{r}"] = s.T.copy()
+            snap[f"dp3d_{r}"] = s.dp3d.copy()
+            snap[f"qdp_{r}"] = s.qdp.copy()
+        return snap
+
+    def restore_snapshot(self, snap: dict[str, np.ndarray]) -> None:
+        """Reset the prognostic state from a :meth:`snapshot` dict."""
+        if f"T_{self.nranks - 1}" not in snap or f"T_{self.nranks}" in snap:
+            raise KernelError("snapshot rank count does not match this model")
+        t, steps, tag = (float(x) for x in snap["meta"])
+        self.t = t
+        self.step_count = int(steps)
+        self._tag = int(tag)
+        for r, s in enumerate(self.states):
+            s.v = snap[f"v_{r}"].copy()
+            s.T = snap[f"T_{r}"].copy()
+            s.dp3d = snap[f"dp3d_{r}"].copy()
+            s.qdp = snap[f"qdp_{r}"].copy()
 
     def gather_state(self):
         from .element import ElementState

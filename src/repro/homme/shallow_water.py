@@ -16,7 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import constants as C
-from ..errors import KernelError
 from ..mesh.cubed_sphere import CubedSphereMesh
 from .element import ElementGeometry
 from . import operators as op

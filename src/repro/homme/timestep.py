@@ -18,7 +18,6 @@ the distributed form lives in :mod:`repro.homme.bndry` +
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -20,7 +20,7 @@ reports intensification, track, and the coarse/fine contrast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..homme.element import ElementGeometry, ElementState
 from ..homme.timestep import PrimitiveEquationModel
 from ..mesh.cubed_sphere import CubedSphereMesh
 from ..physics.simple_physics import SimplePhysics
-from .besttrack import GENESIS, KATRINA_BEST_TRACK
+from .besttrack import KATRINA_BEST_TRACK
 from .track import VortexTracker
 from .vortex import VortexParameters, plant_vortex
 

@@ -21,7 +21,6 @@ import numpy as np
 
 from .. import constants as C
 from ..homme.element import ElementGeometry, ElementState
-from ..homme.rhs import PTOP
 from ..physics.kessler import saturation_mixing_ratio
 
 

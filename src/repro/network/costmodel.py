@@ -83,3 +83,13 @@ class NetworkCostModel:
     def barrier_time(self, nranks: int) -> float:
         """Barrier = zero-byte allreduce."""
         return self.allreduce_time(nranks, 0)
+
+    def suggested_timeout(self, nbytes: int = 1 << 20) -> float:
+        """A safe receiver timeout for the retransmission protocol [s].
+
+        Several times the worst-path delivery time of a generously sized
+        message, so a healthy-but-slow delivery is never mistaken for a
+        loss (a spurious retransmit), while a genuinely lost message is
+        detected within a handful of worst-case latencies.
+        """
+        return 4.0 * self.p2p_time_by_hops(2, nbytes)

@@ -14,21 +14,34 @@ Because all ranks execute inside one Python process, drivers iterate
 ranks in phases (all sends posted, then receives completed) — the natural
 structure of a halo exchange.  ``wait`` on a receive whose matching send
 has not been posted raises :class:`SimMPIError`.
+
+**Fault model.**  A :class:`~repro.resilience.faults.FaultInjector` can
+drop or delay messages and slow individual ranks down.  Because
+``isend`` copies the payload at post time, the sender always holds a
+retransmittable copy: when a receiver waits on a dropped message it
+waits out a (simulated-time) timeout window, the sender re-posts the
+copy with a fresh arrival stamp, and the window doubles on every retry —
+a retransmit-with-exponential-backoff protocol.  Only after
+``max_retries`` failed retransmissions does ``wait`` surface
+:class:`SimMPITimeoutError`.  All of it is deterministic under the
+injector's seed.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import SimMPIError
+from ..errors import SimMPIError, SimMPITimeoutError
 from ..utils.timing import SimClock
 from .costmodel import NetworkCostModel
 from .topology import TaihuLightTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..resilience.faults import FaultInjector
 
 
 @dataclass
@@ -42,6 +55,7 @@ class SimRequest:
     completion_time: float | None = None
     payload: np.ndarray | None = None
     done: bool = False
+    comm: "SimMPI | None" = None  # owning communicator
 
 
 @dataclass
@@ -54,12 +68,39 @@ class _Message:
 
 
 class SimMPI:
-    """A simulated communicator over ``nranks`` ranks."""
+    """A simulated communicator over ``nranks`` ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Communicator size.
+    cost:
+        Network cost model; a TaihuLight-shaped default is built when
+        omitted.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`.  When
+        set, posted messages may be dropped or delayed and ``compute``
+        honours per-rank laggard factors.
+    timeout:
+        Simulated seconds a receiver waits before assuming its message
+        was lost and triggering a retransmission.  Defaults to
+        :meth:`NetworkCostModel.suggested_timeout`.
+    max_retries:
+        Retransmissions attempted before ``wait`` raises
+        :class:`SimMPITimeoutError`.
+    backoff:
+        Multiplier applied to the timeout window after each failed
+        retransmission (exponential backoff).
+    """
 
     def __init__(
         self,
         nranks: int,
         cost: NetworkCostModel | None = None,
+        faults: "FaultInjector | None" = None,
+        timeout: float | None = None,
+        max_retries: int = 3,
+        backoff: float = 2.0,
     ) -> None:
         if nranks < 1:
             raise SimMPIError(f"nranks must be >= 1, got {nranks}")
@@ -70,13 +111,27 @@ class SimMPI:
             raise SimMPIError(
                 f"{nranks} ranks exceed topology capacity {cost.topology.max_ranks}"
             )
+        if max_retries < 0:
+            raise SimMPIError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 1.0:
+            raise SimMPIError(f"backoff must be >= 1, got {backoff}")
         self.nranks = nranks
         self.cost = cost
+        self.faults = faults
+        self.timeout = cost.suggested_timeout() if timeout is None else float(timeout)
+        self.max_retries = max_retries
+        self.backoff = backoff
         self._clocks = [SimClock() for _ in range(nranks)]
         self._mailbox: dict[tuple[int, int, int], deque[_Message]] = {}
+        #: Dropped messages awaiting retransmission (sender-side copies).
+        self._lost: dict[tuple[int, int, int], deque[_Message]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.retransmissions = 0
         self.comm_seconds = [0.0] * nranks  # time visibly spent waiting
+        self._finalized = False
 
     # -- clocks ------------------------------------------------------------
 
@@ -90,7 +145,14 @@ class SimMPI:
         return self.clock(rank).now
 
     def compute(self, rank: int, seconds: float) -> None:
-        """Charge ``seconds`` of computation to ``rank``'s clock."""
+        """Charge ``seconds`` of computation to ``rank``'s clock.
+
+        A laggard rank (fault injector ``laggards``) pays a multiple of
+        the nominal time — the whole-job effect is visible in
+        :meth:`max_time` because every peer ends up waiting for it.
+        """
+        if self.faults is not None:
+            seconds *= self.faults.compute_factor(rank)
         self.clock(rank).advance(seconds)
 
     def max_time(self) -> float:
@@ -104,6 +166,8 @@ class SimMPI:
 
         The send itself is near-free on the sender (the MPE drives the
         NIC); transfer time is charged to the message's arrival stamp.
+        The copy doubles as the retransmission buffer when the fault
+        injector drops the message in flight.
         """
         self._check_rank(src)
         self._check_rank(dst)
@@ -111,31 +175,59 @@ class SimMPI:
         t_send = self._clocks[src].now
         transfer = self.cost.p2p_time(src, dst, payload.nbytes)
         msg = _Message(src, dst, tag, payload.copy(), t_send + transfer)
-        self._mailbox.setdefault((src, dst, tag), deque()).append(msg)
+        fate, extra = ("deliver", 0.0)
+        if self.faults is not None:
+            fate, extra = self.faults.on_send(src, dst, tag, payload.nbytes)
+        if fate == "drop":
+            self._lost.setdefault((src, dst, tag), deque()).append(msg)
+            self.messages_dropped += 1
+        else:
+            if fate == "delay":
+                msg.arrival += extra
+                self.messages_delayed += 1
+            self._mailbox.setdefault((src, dst, tag), deque()).append(msg)
         self.messages_sent += 1
         self.bytes_sent += payload.nbytes
-        return SimRequest("send", src, dst, tag, completion_time=t_send, done=True)
+        return SimRequest(
+            "send", src, dst, tag,
+            completion_time=t_send, payload=msg.payload, done=True, comm=self,
+        )
 
     def irecv(self, dst: int, src: int, tag: int = 0) -> SimRequest:
         """Post a non-blocking receive (completion resolved at wait)."""
         self._check_rank(src)
         self._check_rank(dst)
-        return SimRequest("recv", dst, src, tag)
+        return SimRequest("recv", dst, src, tag, comm=self)
 
     def wait(self, req: SimRequest) -> np.ndarray | None:
-        """Complete a request, advancing the owner's clock as needed."""
-        if req.done and req.kind == "recv":
-            raise SimMPIError("wait called twice on the same receive request")
+        """Complete a request, advancing the owner's clock as needed.
+
+        Waiting a completed *send* request again is an explicit no-op
+        (matching MPI_Wait on an inactive request); waiting a completed
+        *receive* again is a protocol error.  Waiting a request owned by
+        a different communicator is always a protocol error.
+        """
+        if req.comm is not None and req.comm is not self:
+            raise SimMPIError(
+                "wait called on a request owned by another communicator"
+            )
         if req.kind == "send":
+            # Sends complete at post time; repeated waits are no-ops.
             return None
+        if req.done:
+            raise SimMPIError("wait called twice on the same receive request")
         key = (req.peer, req.rank, req.tag)
         q = self._mailbox.get(key)
-        if not q:
-            raise SimMPIError(
-                f"rank {req.rank} waits on message from {req.peer} tag {req.tag}, "
-                "but no matching send was posted"
-            )
-        msg = q.popleft()
+        if q:
+            msg = q.popleft()
+        else:
+            lost = self._lost.get(key)
+            if not lost:
+                raise SimMPIError(
+                    f"rank {req.rank} waits on message from {req.peer} tag {req.tag}, "
+                    "but no matching send was posted"
+                )
+            msg = self._recover(key, lost.popleft())
         clock = self._clocks[req.rank]
         waited = max(0.0, msg.arrival - clock.now)
         self.comm_seconds[req.rank] += waited
@@ -145,8 +237,44 @@ class SimMPI:
         req.payload = msg.payload
         return msg.payload
 
+    def _recover(self, key: tuple[int, int, int], msg: _Message) -> _Message:
+        """Retransmit a dropped message until it arrives or the retry
+        budget runs out.
+
+        The receiver first waits out ``timeout`` simulated seconds (the
+        window in which the original would have arrived); each failed
+        retransmission widens the window by ``backoff``.  A successful
+        retransmission is a mailbox re-post of the sender's copy with a
+        fresh arrival stamp: re-post time plus the transfer time.
+        """
+        src, dst, _tag = key
+        clock = self._clocks[dst]
+        t = clock.now
+        transfer = self.cost.p2p_time(src, dst, msg.payload.nbytes)
+        window = self.timeout
+        for attempt in range(1, self.max_retries + 1):
+            t += window  # receiver rides out the timeout window
+            window *= self.backoff
+            self.retransmissions += 1
+            delivered = True
+            if self.faults is not None:
+                delivered = self.faults.on_retransmit(src, dst, msg.tag, attempt)
+            if delivered:
+                msg.arrival = t + transfer
+                return msg
+        self.comm_seconds[dst] += max(0.0, t - clock.now)
+        clock.advance_to(t)
+        raise SimMPITimeoutError(
+            f"rank {dst} gave up on message from {src} tag {msg.tag} "
+            f"after {self.max_retries} retransmissions"
+        )
+
     def waitall(self, reqs: list[SimRequest]) -> list[np.ndarray | None]:
-        """Complete a list of requests in order."""
+        """Complete a list of requests in order.
+
+        Completed send requests appearing more than once are counted
+        once each as no-ops — they never deliver a payload twice.
+        """
         return [self.wait(r) for r in reqs]
 
     # -- collectives ---------------------------------------------------------------
@@ -185,6 +313,29 @@ class SimMPI:
             c.advance_to(t)
         return t
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close the communicator, verifying the mailbox drained.
+
+        A message posted but never received — typically a mismatched
+        tag — would otherwise sit in the mailbox forever and corrupt a
+        later exchange that reuses the tag.  Raises
+        :class:`SimMPIError` naming the leaked (src, dst, tag) triples.
+        """
+        self._finalized = True
+        leaked = {
+            key: len(q) for key, q in self._mailbox.items() if q
+        }
+        leaked.update({key: len(q) for key, q in self._lost.items() if q})
+        if leaked:
+            desc = ", ".join(
+                f"src={k[0]} dst={k[1]} tag={k[2]} x{n}" for k, n in sorted(leaked.items())
+            )
+            raise SimMPIError(
+                f"finalize with {sum(leaked.values())} undelivered message(s): {desc}"
+            )
+
     # -- internals ---------------------------------------------------------------
 
     def _check_rank(self, rank: int) -> None:
@@ -193,4 +344,6 @@ class SimMPI:
 
     def pending_messages(self) -> int:
         """Messages posted but not yet received (should be 0 after a step)."""
-        return sum(len(q) for q in self._mailbox.values())
+        return sum(len(q) for q in self._mailbox.values()) + sum(
+            len(q) for q in self._lost.values()
+        )

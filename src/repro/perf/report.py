@@ -9,7 +9,7 @@ reproduction policy in DESIGN.md Section 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..utils.tables import render_table
 

@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the simulated machine.
+
+The full-machine runs the paper reports (10.6 M cores for days) only
+finish because the software tolerates the machine misbehaving: nodes
+run slow, messages get lost, DRAM and DMA transfers flip bits, CPEs
+die.  :class:`FaultInjector` is the single source of truth for every
+injected fault in the reproduction — the network layer, the Sunway DMA
+engines, and the resilient runner all consult the same injector, so a
+whole faulty run is reproducible from one seed.
+
+Faults come in two flavours:
+
+- **scheduled** — fire at an exact event index (the 3rd message sent,
+  the 12th DMA transfer, model step 5), which is what the tests and the
+  acceptance criteria use;
+- **random** — fire with a configured probability from a seeded
+  :class:`numpy.random.Generator`, for soak-style runs.
+
+Every decision the injector takes is appended to :attr:`events`, so a
+run can print exactly which faults fired and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One scheduled single-bit corruption.
+
+    ``transfer`` targets the Nth DMA transfer (0-based, counted across
+    all engines sharing the injector); ``step`` targets the model state
+    after step N of a :class:`~repro.resilience.runner.ResilientRunner`.
+    Exactly one of the two should be set.  ``word`` and ``bit`` pick the
+    float64 element (flattened index, modulo the array size) and the bit
+    within its 64-bit pattern.  Bit 63 is the IEEE-754 sign bit — the
+    classic silent-data-corruption that turns a layer thickness
+    negative; bits 52-62 hit the exponent and typically produce huge
+    values or Inf/NaN.
+    """
+
+    transfer: int | None = None
+    step: int | None = None
+    field_name: str = "dp3d"
+    rank: int = 0
+    word: int = 0
+    bit: int = 63
+
+
+@dataclass
+class FaultEvent:
+    """One fault that actually fired (for logs and assertions)."""
+
+    kind: str  # "drop" | "delay" | "retransmit_drop" | "bitflip" | "laggard"
+    detail: dict = field(default_factory=dict)
+
+
+def flip_bit(arr: np.ndarray, word: int, bit: int) -> None:
+    """Flip ``bit`` of float64 element ``word`` (flattened, wrapped) in place."""
+    if arr.dtype != np.float64:
+        raise ValueError(f"bit flips model float64 SDC, got dtype {arr.dtype}")
+    if not (0 <= bit < 64):
+        raise ValueError(f"bit must be in 0..63, got {bit}")
+    flat = arr.reshape(-1)
+    idx = word % flat.size
+    bits = flat[idx : idx + 1].view(np.uint64)
+    bits ^= np.uint64(1) << np.uint64(bit)
+
+
+class FaultInjector:
+    """Seeded, deterministic source of every injected fault.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the probabilistic faults.  Two injectors built with the
+        same arguments take identical decisions.
+    drop_messages:
+        Send indices (0-based, in posting order) whose message is lost
+        in flight.  The sender's copy survives for retransmission.
+    drop_probability:
+        Additionally drop any message with this probability.
+    drop_retransmits:
+        If True, retransmissions are dropped too (drives the receiver to
+        :class:`~repro.errors.SimMPITimeoutError`).
+    delay_messages:
+        Mapping of send index -> extra in-flight seconds (a congested or
+        rerouted path; the payload still arrives intact).
+    laggards:
+        Mapping of rank -> compute slowdown factor (>= 1).  A factor of
+        4.0 models the "one slow node" that dominates full-machine jobs.
+    bitflips:
+        :class:`BitFlip` schedule for DMA transfers and model state.
+    disabled_cpes:
+        Mapping of core-group id -> number of CPEs that have failed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_messages: tuple[int, ...] | list[int] = (),
+        drop_probability: float = 0.0,
+        drop_retransmits: bool = False,
+        delay_messages: dict[int, float] | None = None,
+        laggards: dict[int, float] | None = None,
+        bitflips: tuple[BitFlip, ...] | list[BitFlip] = (),
+        disabled_cpes: dict[int, int] | None = None,
+    ) -> None:
+        if not (0.0 <= drop_probability < 1.0):
+            raise ValueError(f"drop_probability must be in [0,1), got {drop_probability}")
+        for r, f in (laggards or {}).items():
+            if f < 1.0:
+                raise ValueError(f"laggard factor for rank {r} must be >= 1, got {f}")
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.drop_messages = frozenset(int(i) for i in drop_messages)
+        self.drop_probability = float(drop_probability)
+        self.drop_retransmits = bool(drop_retransmits)
+        self.delay_messages = {int(k): float(v) for k, v in (delay_messages or {}).items()}
+        self.laggards = dict(laggards or {})
+        self.bitflips = tuple(bitflips)
+        self.disabled_cpes = dict(disabled_cpes or {})
+        self.events: list[FaultEvent] = []
+        self.send_index = 0
+        self.dma_index = 0
+        self._fired_steps: set[int] = set()
+
+    # -- network hooks ------------------------------------------------------
+
+    def on_send(self, src: int, dst: int, tag: int, nbytes: int) -> tuple[str, float]:
+        """Decide the fate of the next posted message.
+
+        Returns ``("deliver", 0.0)``, ``("drop", 0.0)`` or
+        ``("delay", extra_seconds)``.
+        """
+        i = self.send_index
+        self.send_index += 1
+        if i in self.drop_messages or (
+            self.drop_probability > 0.0 and self.rng.random() < self.drop_probability
+        ):
+            self.events.append(
+                FaultEvent("drop", {"index": i, "src": src, "dst": dst, "tag": tag})
+            )
+            return ("drop", 0.0)
+        if i in self.delay_messages:
+            dt = self.delay_messages[i]
+            self.events.append(
+                FaultEvent("delay", {"index": i, "src": src, "dst": dst, "extra": dt})
+            )
+            return ("delay", dt)
+        return ("deliver", 0.0)
+
+    def on_retransmit(self, src: int, dst: int, tag: int, attempt: int) -> bool:
+        """Whether retransmission ``attempt`` (1-based) gets through."""
+        if self.drop_retransmits:
+            self.events.append(
+                FaultEvent(
+                    "retransmit_drop",
+                    {"src": src, "dst": dst, "tag": tag, "attempt": attempt},
+                )
+            )
+            return False
+        return True
+
+    def compute_factor(self, rank: int) -> float:
+        """Compute-time multiplier for ``rank`` (1.0 = healthy)."""
+        return self.laggards.get(rank, 1.0)
+
+    # -- Sunway hooks -------------------------------------------------------
+
+    def on_dma(self, buffer: np.ndarray) -> bool:
+        """Called per DMA transfer; corrupts ``buffer`` in place if this
+        transfer index is scheduled for a bit flip.  Returns True if a
+        flip fired."""
+        i = self.dma_index
+        self.dma_index += 1
+        fired = False
+        for bf in self.bitflips:
+            if bf.transfer == i and buffer.dtype == np.float64 and buffer.size:
+                flip_bit(buffer, bf.word, bf.bit)
+                self.events.append(
+                    FaultEvent("bitflip", {"transfer": i, "word": bf.word, "bit": bf.bit})
+                )
+                fired = True
+        return fired
+
+    def healthy_cpes(self, cg_id: int, total: int) -> int:
+        """Surviving CPE count for core group ``cg_id`` out of ``total``."""
+        return max(0, total - self.disabled_cpes.get(cg_id, 0))
+
+    # -- model-state hooks --------------------------------------------------
+
+    def state_flips_at(self, step: int) -> list[BitFlip]:
+        """Scheduled state corruptions firing after model step ``step``.
+
+        Each step's flips fire exactly once — after a rollback the
+        re-executed step is clean, which is what lets the resilient
+        runner converge.
+        """
+        if step in self._fired_steps:
+            return []
+        flips = [bf for bf in self.bitflips if bf.step == step]
+        if flips:
+            self._fired_steps.add(step)
+            self.events.append(
+                FaultEvent("bitflip", {"step": step, "count": len(flips)})
+            )
+        return flips
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Count of fired faults by kind."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out

@@ -1,0 +1,137 @@
+"""The self-healing driver: detect, roll back, retry, complete.
+
+:class:`ResilientRunner` ties the subsystem together around either
+distributed model:
+
+1. checkpoint on a cadence (:class:`~repro.resilience.checkpoint.Checkpointer`);
+2. after every step, apply any scheduled silent-data-corruption from the
+   :class:`~repro.resilience.faults.FaultInjector` (the simulated DMA
+   bit flip landing in model state), then run the
+   :class:`~repro.resilience.validator.StateValidator`;
+3. on a violation, restore the newest intact checkpoint and re-execute
+   the lost steps — the re-run is clean because scheduled faults fire
+   exactly once;
+4. give up with :class:`~repro.errors.ResilienceError` only after
+   ``max_rollbacks`` recoveries.
+
+Because every recovery path (retransmitted messages, restored
+checkpoints, re-executed steps) reproduces the exact float64 stream of
+the healthy run, a faulty run's final state matches the fault-free
+trajectory bitwise — the property the acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ResilienceError
+from .checkpoint import Checkpointer
+from .faults import FaultInjector, flip_bit
+from .validator import StateValidator
+
+
+@dataclass
+class RunReport:
+    """What happened during one resilient integration."""
+
+    steps: int = 0
+    rollbacks: int = 0
+    checkpoints: int = 0
+    resteps: int = 0           # steps re-executed after rollbacks
+    fault_summary: dict = field(default_factory=dict)
+    log: list[str] = field(default_factory=list)
+
+
+class ResilientRunner:
+    """Run a distributed model to completion through injected faults.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``step()``, ``step_count``, ``states``,
+        ``snapshot()`` and ``restore_snapshot()`` — both distributed
+        HOMME models qualify.
+    checkpointer:
+        Where and how often to checkpoint.
+    validator:
+        Post-step invariant checks (a default one is built if omitted).
+    faults:
+        The injector whose ``step``-scheduled :class:`BitFlip` entries
+        corrupt model state.  Usually the same injector wired into the
+        model's SimMPI so one seed governs the whole run.
+    max_rollbacks:
+        Recovery budget for a single :meth:`run` call.
+    """
+
+    def __init__(
+        self,
+        model,
+        checkpointer: Checkpointer,
+        validator: StateValidator | None = None,
+        faults: FaultInjector | None = None,
+        max_rollbacks: int = 3,
+    ) -> None:
+        if max_rollbacks < 0:
+            raise ResilienceError(f"max_rollbacks must be >= 0, got {max_rollbacks}")
+        self.model = model
+        self.checkpointer = checkpointer
+        self.validator = validator or StateValidator()
+        self.faults = faults
+        self.max_rollbacks = max_rollbacks
+        self.report = RunReport()
+
+    # -- fault application ----------------------------------------------------
+
+    def _apply_state_faults(self) -> None:
+        if self.faults is None:
+            return
+        for bf in self.faults.state_flips_at(self.model.step_count):
+            state = self.model.states[bf.rank % len(self.model.states)]
+            arr = getattr(state, bf.field_name, None)
+            if arr is None:
+                raise ResilienceError(
+                    f"bit-flip targets unknown field {bf.field_name!r}"
+                )
+            flip_bit(arr, bf.word, bf.bit)
+            self.report.log.append(
+                f"step {self.model.step_count}: SDC injected in rank "
+                f"{bf.rank} {bf.field_name} (word {bf.word}, bit {bf.bit})"
+            )
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, nsteps: int) -> RunReport:
+        """Advance ``nsteps`` healthy steps, recovering as needed."""
+        if self.checkpointer.latest() is None:
+            self.checkpointer.save(self.model)  # step-0 safety net
+        target = self.model.step_count + nsteps
+        max_seen = self.model.step_count
+        while self.model.step_count < target:
+            self.model.step()
+            self.report.steps += 1
+            if self.model.step_count <= max_seen:
+                self.report.resteps += 1
+            max_seen = max(max_seen, self.model.step_count)
+            self._apply_state_faults()
+            problems = self.validator.problems(self.model)
+            if problems:
+                self._rollback(problems)
+                continue
+            if self.checkpointer.maybe(self.model) is not None:
+                self.report.checkpoints += 1
+        if self.faults is not None:
+            self.report.fault_summary = self.faults.summary()
+        return self.report
+
+    def _rollback(self, problems: list[str]) -> None:
+        self.report.rollbacks += 1
+        if self.report.rollbacks > self.max_rollbacks:
+            raise ResilienceError(
+                f"rollback budget ({self.max_rollbacks}) exhausted; "
+                "last violations: " + "; ".join(problems)
+            )
+        restored = self.checkpointer.restore(self.model)
+        self.report.log.append(
+            f"validation failed ({'; '.join(problems)}); "
+            f"rolled back to step {restored}"
+        )

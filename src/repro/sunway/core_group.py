@@ -10,9 +10,8 @@ management core that drives MPI and runs serial sections.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .. import constants as C
+from ..errors import ResilienceError
 from .cpe import CPE
 from .perf import PerfCounters
 from .regcomm import CPEMeshComm
@@ -32,6 +31,7 @@ class CoreGroup:
         ]
         self.mesh = CPEMeshComm(spec)
         self.mpe_cycles = 0.0
+        self._failed: set[tuple[int, int]] = set()
 
     # -- lookup ------------------------------------------------------------
 
@@ -42,6 +42,46 @@ class CoreGroup:
     @property
     def n_cpes(self) -> int:
         return len(self.cpes)
+
+    # -- graceful degradation ---------------------------------------------
+
+    def disable_cpe(self, row: int, col: int) -> None:
+        """Mark the CPE at (row, col) failed: it takes no further work."""
+        self.cpe(row, col)  # bounds check
+        self._failed.add((row, col))
+        if not self.healthy_cpes:
+            raise ResilienceError(
+                f"core group {self.cg_id}: all CPEs disabled"
+            )
+
+    def disable_cpes(self, n: int) -> None:
+        """Fail ``n`` CPEs (highest mesh positions first)."""
+        if not (0 <= n < self.n_cpes - len(self._failed) + 1):
+            raise ResilienceError(
+                f"cannot disable {n} of {self.n_cpes - len(self._failed)} "
+                "healthy CPEs"
+            )
+        alive = [c for c in reversed(self.cpes) if c.coord not in self._failed]
+        for cpe in alive[:n]:
+            self.disable_cpe(*cpe.coord)
+
+    @property
+    def healthy_cpes(self) -> list[CPE]:
+        """CPEs still accepting work."""
+        return [c for c in self.cpes if c.coord not in self._failed]
+
+    @property
+    def n_healthy(self) -> int:
+        return len(self.healthy_cpes)
+
+    @property
+    def degradation(self) -> float:
+        """Cluster slowdown from failed CPEs (1.0 = fully healthy).
+
+        Work re-tiles evenly over the survivors, so a cluster with k of
+        64 CPEs alive runs its compute-bound kernels 64/k slower.
+        """
+        return self.n_cpes / self.n_healthy
 
     # -- MPE model -----------------------------------------------------------
 
@@ -68,21 +108,27 @@ class CoreGroup:
     def collect(self, vector_efficiency: float = 1.0) -> PerfCounters:
         """Aggregate all CPE counters into one CG-level PERF snapshot.
 
-        ``cycles`` is the *slowest CPE's* busy time (the cluster advances
-        at the pace of its critical lane), plus MPE time and mesh
-        communication time.
+        ``cycles`` is the *slowest healthy CPE's* busy time (the cluster
+        advances at the pace of its critical lane), plus MPE time and
+        mesh communication time.  Counters accumulated on a CPE before
+        it failed still count — its work was real — but its lane no
+        longer gates the cluster, and the snapshot reports the
+        :attr:`degradation` factor of the surviving configuration.
         """
         perf = PerfCounters()
         slowest = 0.0
+        healthy = self.healthy_cpes
         for cpe in self.cpes:
             perf.dp_flops += cpe.vector.flops
             perf.vector_instructions += cpe.vector.instructions
             perf.dma_bytes_get += cpe.dma.bytes_get
             perf.dma_bytes_put += cpe.dma.bytes_put
             perf.ldm_high_water = max(perf.ldm_high_water, cpe.ldm.high_water)
+        for cpe in healthy:
             slowest = max(slowest, cpe.total_cycles(vector_efficiency))
         perf.regcomm_transfers = self.mesh.transfer_count
         perf.cycles = slowest + self.mpe_cycles + self.mesh.total_cycles
+        perf.degradation = self.degradation
         return perf
 
     def elapsed_seconds(self, vector_efficiency: float = 1.0) -> float:
@@ -99,7 +145,7 @@ class CoreGroup:
         return bytes_moved / self.spec.cg_memory_bandwidth
 
     def reset(self) -> None:
-        """Clear all CPE and mesh state."""
+        """Clear all CPE and mesh state (failed CPEs stay failed)."""
         for cpe in self.cpes:
             cpe.reset()
         self.mesh = CPEMeshComm(self.spec)

@@ -18,7 +18,7 @@ the OpenACC solution" claim (Section 7.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -76,15 +76,20 @@ class DMAEngine:
         self,
         spec: SW26010Spec = DEFAULT_SPEC,
         bandwidth_share: float = 1.0 / 64.0,
+        faults=None,
     ) -> None:
         if not (0.0 < bandwidth_share <= 1.0):
             raise DMAError(f"bandwidth_share must be in (0,1], got {bandwidth_share}")
         self.spec = spec
         self.bandwidth_share = bandwidth_share
+        #: Optional FaultInjector whose scheduled bit flips corrupt the
+        #: destination buffer of a transfer (silent data corruption).
+        self.faults = faults
         self.bytes_get = 0
         self.bytes_put = 0
         self.transfer_count = 0
         self.total_cycles = 0.0
+        self.corrupted_transfers = 0
         self._pending: list[DMARequest] = []
 
     # -- cost model ----------------------------------------------------------
@@ -117,6 +122,8 @@ class DMAEngine:
                 f"size mismatch: src {src.nbytes} B vs dst {dst.nbytes} B ({tag})"
             )
         np.copyto(dst.reshape(-1), src.reshape(-1).astype(dst.dtype, copy=False))
+        if self.faults is not None and self.faults.on_dma(dst):
+            self.corrupted_transfers += 1
         cycles = self.transfer_cycles(src.nbytes, stride_bytes)
         self.bytes_get += src.nbytes
         self.transfer_count += 1
@@ -136,6 +143,8 @@ class DMAEngine:
                 f"size mismatch: src {src.nbytes} B vs dst {dst.nbytes} B ({tag})"
             )
         np.copyto(dst.reshape(-1), src.reshape(-1).astype(dst.dtype, copy=False))
+        if self.faults is not None and self.faults.on_dma(dst):
+            self.corrupted_transfers += 1
         cycles = self.transfer_cycles(src.nbytes, stride_bytes)
         self.bytes_put += src.nbytes
         self.transfer_count += 1
@@ -202,4 +211,5 @@ class DMAEngine:
         self.bytes_put = 0
         self.transfer_count = 0
         self.total_cycles = 0.0
+        self.corrupted_transfers = 0
         self._pending.clear()

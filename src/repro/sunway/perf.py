@@ -10,7 +10,7 @@ methods so the three can be cross-checked like the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -29,6 +29,8 @@ class PerfCounters:
     regcomm_transfers: int = 0
     ldm_high_water: int = 0
     cycles: float = 0.0
+    #: Cluster slowdown from failed CPEs (1.0 = all 64 healthy).
+    degradation: float = 1.0
 
     def add_flops(self, n: int) -> None:
         """Retire ``n`` double-precision arithmetic operations."""
@@ -45,6 +47,7 @@ class PerfCounters:
         self.regcomm_transfers += other.regcomm_transfers
         self.ldm_high_water = max(self.ldm_high_water, other.ldm_high_water)
         self.cycles += other.cycles
+        self.degradation = max(self.degradation, other.degradation)
         return self
 
     @property
@@ -72,4 +75,5 @@ class PerfCounters:
             "regcomm_transfers": self.regcomm_transfers,
             "ldm_high_water": self.ldm_high_water,
             "cycles": self.cycles,
+            "degradation": self.degradation,
         }

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import constants as C
-from .spec import SW26010Spec, DEFAULT_SPEC
+from .spec import DEFAULT_SPEC
 
 #: Whole-system power of TaihuLight under load [W] (15.37 MW Linpack).
 TAIHULIGHT_SYSTEM_POWER = 15.37e6

@@ -18,7 +18,7 @@ implement the patterns the paper builds on top.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

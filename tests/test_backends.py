@@ -8,9 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.backends import (
     ALL_BACKENDS,
     AthreadBackend,
-    IntelBackend,
     KernelWorkload,
-    MPEBackend,
     OpenACCBackend,
     table1_workloads,
     workload_for,

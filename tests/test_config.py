@@ -1,10 +1,8 @@
 """Tests for repro.config: resolution table, derived sizes, validation."""
 
-import math
 
 import pytest
 
-from repro import constants as C
 from repro.config import (
     ModelConfig,
     RunConfig,

@@ -9,7 +9,6 @@ from repro.homme.hypervis import nu_for_ne
 from repro.homme.shallow_water import (
     ShallowWaterModel,
     rossby_haurwitz_initial,
-    williamson2_initial,
 )
 from repro.mesh import CubedSphereMesh
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.perf.exascale import (
-    ExascaleProjection,
     exascale_spec,
     project,
     speed_wall_analysis,

@@ -16,7 +16,7 @@ class TestFrontend:
     def test_parses_euler_step(self):
         parsed = parse_fortran_kernel(EULER_STEP_FORTRAN, "euler_step")
         nest = parsed.nest
-        assert [l.var for l in nest.loops] == ["ie", "q", "k"]
+        assert [lp.var for lp in nest.loops] == ["ie", "q", "k"]
         assert nest.loop("q").trips == 25
         assert parsed.parameters["nlev"] == 128
         names = {a.array.name for a in nest.accesses}
@@ -77,8 +77,8 @@ class TestCodegen:
         nest, mapping, fp = euler
         src = emit_openacc(nest, mapping)
         lines = src.splitlines()
-        q_line = next(i for i, l in enumerate(lines) if l.strip().startswith("do q"))
-        copyin = next(i for i, l in enumerate(lines) if "copyin" in l)
+        q_line = next(i for i, ln in enumerate(lines) if ln.strip().startswith("do q"))
+        copyin = next(i for i, ln in enumerate(lines) if "copyin" in ln)
         assert copyin > q_line
         assert "re-read x25" in src
 

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro import constants as C
 from repro.config import ModelConfig
 from repro.errors import KernelError
-from repro.homme import operators as op
 from repro.homme.element import ElementGeometry, ElementState
 from repro.homme.euler import (
     euler_step,
@@ -23,7 +22,7 @@ from repro.homme.hypervis import (
     hypervis_stable_subcycles,
     nu_for_ne,
 )
-from repro.homme.remap import ppm_edge_values, reference_dp, remap_ppm, vertical_remap
+from repro.homme.remap import ppm_edge_values, remap_ppm, vertical_remap
 from repro.homme.rhs import (
     PTOP,
     compute_and_apply_rhs,

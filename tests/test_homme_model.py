@@ -117,47 +117,62 @@ class TestHaloExchanger:
         part = SFCPartition(4, 8)
         return mesh, part, HaloExchanger(mesh, part)
 
-    def test_matches_serial_dss_scalar(self, setup):
+    @pytest.fixture
+    def make_mpi(self):
+        """Communicator factory whose teardown verifies the mailbox
+        drained — a leaked message (mismatched tag) fails the test."""
+        comms = []
+
+        def _make(nranks=8):
+            mpi = SimMPI(nranks)
+            comms.append(mpi)
+            return mpi
+
+        yield _make
+        for mpi in comms:
+            mpi.finalize()
+
+    def test_matches_serial_dss_scalar(self, setup, make_mpi):
         mesh, part, hx = setup
         f = np.random.default_rng(0).standard_normal((mesh.nelem, 4, 4))
-        outs, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
+        outs, _ = hx.exchange(hx.scatter(f), make_mpi(), mode="classic")
         assert np.allclose(hx.gather(outs), mesh.dss(f), atol=1e-13)
 
-    def test_matches_serial_dss_multifield(self, setup):
+    def test_matches_serial_dss_multifield(self, setup, make_mpi):
         mesh, part, hx = setup
         f = np.random.default_rng(1).standard_normal((mesh.nelem, 4, 4, 3))
-        outs, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        outs, _ = hx.exchange(hx.scatter(f), make_mpi(), mode="overlap")
         assert np.allclose(hx.gather(outs), mesh.dss(f), atol=1e-13)
 
-    def test_classic_equals_overlap_numerically(self, setup):
+    def test_classic_equals_overlap_numerically(self, setup, make_mpi):
         mesh, part, hx = setup
         f = np.random.default_rng(2).standard_normal((mesh.nelem, 4, 4))
-        a, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
-        b, _ = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        a, _ = hx.exchange(hx.scatter(f), make_mpi(), mode="classic")
+        b, _ = hx.exchange(hx.scatter(f), make_mpi(), mode="overlap")
         for x, y in zip(a, b):
             assert np.array_equal(x, y)
 
-    def test_overlap_hides_communication(self, setup):
+    def test_overlap_hides_communication(self, setup, make_mpi):
         mesh, part, hx = setup
         f = np.random.default_rng(3).standard_normal((mesh.nelem, 4, 4, 8))
         # Generous inner work so messages are fully hidden.
         inner = [5e-3] * 8
         bdry = [1e-3] * 8
         _, rep_c = hx.exchange(
-            hx.scatter(f), SimMPI(8), mode="classic",
+            hx.scatter(f), make_mpi(), mode="classic",
             boundary_compute=bdry, inner_compute=inner,
         )
         _, rep_o = hx.exchange(
-            hx.scatter(f), SimMPI(8), mode="overlap",
+            hx.scatter(f), make_mpi(), mode="overlap",
             boundary_compute=bdry, inner_compute=inner,
         )
         assert rep_o.max_time < rep_c.max_time
 
-    def test_classic_has_double_memcpy(self, setup):
+    def test_classic_has_double_memcpy(self, setup, make_mpi):
         mesh, part, hx = setup
         f = np.random.default_rng(4).standard_normal((mesh.nelem, 4, 4))
-        _, rep_c = hx.exchange(hx.scatter(f), SimMPI(8), mode="classic")
-        _, rep_o = hx.exchange(hx.scatter(f), SimMPI(8), mode="overlap")
+        _, rep_c = hx.exchange(hx.scatter(f), make_mpi(), mode="classic")
+        _, rep_o = hx.exchange(hx.scatter(f), make_mpi(), mode="overlap")
         assert rep_c.memcpy_seconds == pytest.approx(2 * rep_o.memcpy_seconds)
 
     def test_wrong_communicator_size(self, setup):

@@ -36,8 +36,8 @@ class TestGradient:
         f3 = np.repeat(f[:, None], 5, axis=1)
         g3 = op.gradient_sphere(f3, geom)
         g1 = op.gradient_sphere(f, geom)
-        for l in range(5):
-            assert np.allclose(g3[:, l], g1)
+        for lev in range(5):
+            assert np.allclose(g3[:, lev], g1)
 
 
 class TestDivergenceVorticity:

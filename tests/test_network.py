@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import constants as C
 from repro.errors import SimMPIError, TopologyError
 from repro.network import NetworkCostModel, SimMPI, TaihuLightTopology
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import constants as C
 from repro.config import ModelConfig
 from repro.errors import ConfigurationError
 from repro.homme.element import ElementGeometry, ElementState

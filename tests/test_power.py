@@ -4,7 +4,6 @@ import pytest
 
 from repro.perf.scaling import HommePerfModel
 from repro.sunway.power import (
-    EnergyReport,
     machine_efficiency_check,
     node_power,
     run_energy,

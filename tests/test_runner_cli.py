@@ -1,6 +1,5 @@
 """Tests for the experiment runner CLI (python -m repro)."""
 
-import pytest
 
 from repro.experiments.runner import DRIVERS, main
 

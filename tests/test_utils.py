@@ -73,7 +73,7 @@ class TestRenderTable:
     def test_alignment_consistent_width(self):
         out = render_table(["x", "yyyy"], [[1, 2], [333, 4]])
         lines = out.splitlines()
-        assert len({len(l) for l in lines}) <= 2  # header+rows aligned
+        assert len({len(ln) for ln in lines}) <= 2  # header+rows aligned
 
 
 class TestRunLog:

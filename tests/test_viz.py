@@ -36,7 +36,7 @@ class TestAsciiMap:
         out = ascii_map(mesh, np.sin(mesh.lat), nlat=10, nlon=40, title="T")
         lines = out.splitlines()
         assert len(lines) == 11  # title + rows
-        assert all(len(l) == 40 for l in lines[1:])
+        assert all(len(ln) == 40 for ln in lines[1:])
 
     def test_extremes_use_ramp_ends(self, mesh):
         out = ascii_map(mesh, np.sin(mesh.lat), nlat=10, nlon=40)
