@@ -5,15 +5,49 @@ Sweeps the whole-CAM SYPD curves (Figure 6), the HOMME strong-scaling
 curves (Figure 7), and the weak-scaling series (Figure 8), printing the
 same rows the paper plots.
 
-Run:  python examples/scaling_study.py
+Run:  python examples/scaling_study.py [--trace out.json]
+
+The figures come from the calibrated performance model (no simulated
+ranks to trace), so ``--trace`` additionally runs a small distributed
+primitive-equation integration under the observability tracer and
+exports it as a Chrome trace-event file: per-rank euler/hypervis/remap
+phases, halo pack/send/overlap/unpack, and MPI waits, loadable at
+https://ui.perfetto.dev.
 """
+
+import argparse
 
 from repro.experiments.figure6_sypd import run_figure6
 from repro.experiments.figure7_strong import run_figure7
 from repro.experiments.figure8_weak import run_figure8
 
 
+def traced_run(path: str) -> None:
+    """Trace a small distributed run alongside the model-based figures."""
+    from repro.config import ModelConfig
+    from repro.homme.distributed import DistributedPrimitiveEquations
+    from repro.homme.element import ElementGeometry, ElementState
+    from repro.mesh import CubedSphereMesh
+    from repro.obs import Tracer
+
+    tracer = Tracer("scaling_study")
+    cfg = ModelConfig(ne=4, nlev=4, qsize=1)
+    mesh = CubedSphereMesh(4)
+    state = ElementState.isothermal_rest(ElementGeometry(mesh), cfg)
+    model = DistributedPrimitiveEquations(
+        cfg, mesh, state, nranks=4, dt=600.0, mode="overlap", tracer=tracer
+    )
+    model.run_steps(2)
+    tracer.recorder.write_chrome_trace(path)
+    print(f"[trace] ne=4, 4 ranks, 2 steps -> {path} "
+          f"({len(tracer.recorder)} events); open in https://ui.perfetto.dev")
+
+
 if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="also trace a small distributed run; write here")
+    ns = ap.parse_args()
     print("#" * 72)
     print("# Figure 6: whole-CAM simulation speed")
     print("#" * 72)
@@ -28,3 +62,6 @@ if __name__ == "__main__":
     print("# Figure 8: weak scaling to 10,075,000 cores")
     print("#" * 72)
     run_figure8()
+    if ns.trace:
+        print()
+        traced_run(ns.trace)

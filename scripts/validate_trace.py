@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file (CI smoke check).
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json [--min-rank-tracks N]
+
+Loads the file, runs :func:`repro.obs.validate_chrome_trace`, and —
+when ``--min-rank-tracks`` is given — additionally asserts the trace
+names at least N per-rank threads and that the halo-exchange phase
+spans (pack, send, overlap, unpack) are present.  Exits nonzero on any
+problem, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import validate_chrome_trace
+
+
+def check(path: str, min_rank_tracks: int = 0) -> list[str]:
+    """Return a list of problems with the trace file (empty = valid)."""
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot load: {exc}"]
+    problems = validate_chrome_trace(obj)
+    if min_rank_tracks:
+        events = obj.get("traceEvents", [])
+        rank_tracks = {
+            ev["args"]["name"]
+            for ev in events
+            if isinstance(ev, dict) and ev.get("ph") == "M"
+            and ev.get("name") == "thread_name"
+            and str(ev.get("args", {}).get("name", "")).startswith("rank")
+        }
+        if len(rank_tracks) < min_rank_tracks:
+            problems.append(
+                f"expected >= {min_rank_tracks} rank tracks, "
+                f"found {sorted(rank_tracks)}"
+            )
+        names = {ev.get("name") for ev in events if isinstance(ev, dict)}
+        for phase in ("pack", "send", "overlap", "unpack"):
+            if phase not in names:
+                problems.append(f"missing halo-exchange phase span {phase!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--min-rank-tracks", type=int, default=0, metavar="N",
+                    help="require at least N rank* thread tracks "
+                         "and the halo-exchange phase spans")
+    ns = ap.parse_args(argv)
+    problems = check(ns.trace, ns.min_rank_tracks)
+    for p in problems:
+        print(f"INVALID: {p}", file=sys.stderr)
+    if not problems:
+        with open(ns.trace) as fh:
+            n = len(json.load(fh).get("traceEvents", []))
+        print(f"OK: {ns.trace} is a valid Chrome trace ({n} events)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,7 +100,7 @@ class AthreadBackend(Backend):
 
         overhead = SPAWN_OVERHEAD + scan + transpose + exposed
         seconds = max(compute, memory) + overhead
-        return KernelReport(
+        return self._trace_report(KernelReport(
             name=wl.name,
             backend=self.name,
             seconds=seconds,
@@ -117,4 +117,4 @@ class AthreadBackend(Backend):
                 "healthy_cpes": self.healthy_cpes,
                 "degradation": self.degradation,
             },
-        )
+        ))

@@ -13,6 +13,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from ..obs.tracer import NULL_TRACER
+
 
 @dataclass(frozen=True)
 class KernelWorkload:
@@ -107,9 +109,18 @@ class KernelReport:
 
 
 class Backend(abc.ABC):
-    """Executes kernel workloads under one hardware/programming model."""
+    """Executes kernel workloads under one hardware/programming model.
+
+    Assigning a real :class:`~repro.obs.Tracer` to :attr:`tracer` turns
+    every executed kernel into a span (``cat="kernel"``) on the
+    ``backend.<name>`` track, laid back-to-back on the backend's own
+    simulated timeline and annotated with flop/byte counts — the input
+    the flight recorder's roofline attribution report consumes.
+    """
 
     name: str = "abstract"
+    #: Observability hook; the class default records nothing.
+    tracer = NULL_TRACER
 
     @abc.abstractmethod
     def execute(self, wl: KernelWorkload) -> KernelReport:
@@ -118,3 +129,24 @@ class Backend(abc.ABC):
     def execute_all(self, workloads: dict[str, KernelWorkload]) -> dict[str, KernelReport]:
         """Execute a set of kernels, keyed by name."""
         return {k: self.execute(wl) for k, wl in workloads.items()}
+
+    def _trace_report(self, rep: KernelReport) -> KernelReport:
+        """Record ``rep`` as a kernel span; returns ``rep`` for chaining.
+
+        Kernels are placed end-to-end at a per-backend time cursor, so
+        the track reads as the backend's serialized execution order.
+        """
+        if not self.tracer.enabled:
+            return rep
+        t0 = getattr(self, "_trace_cursor", 0.0)
+        t1 = t0 + rep.seconds
+        self._trace_cursor = t1
+        self.tracer.span_at(
+            f"backend.{self.name}", rep.name, t0, t1, cat="kernel",
+            backend=self.name, flops=rep.flops, bytes=rep.bytes_moved,
+            compute_seconds=rep.compute_seconds,
+            memory_seconds=rep.memory_seconds,
+            overhead_seconds=rep.overhead_seconds,
+            bound=rep.notes.get("bound", ""),
+        )
+        return rep

@@ -31,7 +31,7 @@ class IntelBackend(Backend):
         # The cache hierarchy captures reuse: only unique traffic pays.
         memory = wl.unique_bytes / self.bandwidth
         seconds = max(compute, memory)
-        return KernelReport(
+        return self._trace_report(KernelReport(
             name=wl.name,
             backend=self.name,
             seconds=seconds,
@@ -40,4 +40,4 @@ class IntelBackend(Backend):
             compute_seconds=compute,
             memory_seconds=memory,
             notes={"bound": "compute" if compute >= memory else "memory"},
-        )
+        ))

@@ -38,7 +38,7 @@ class MPEBackend(Backend):
         compute = wl.flops / (self.flop_rate * wl.mpe_efficiency)
         memory = wl.unique_bytes / self.bandwidth
         seconds = max(compute, memory)
-        return KernelReport(
+        return self._trace_report(KernelReport(
             name=wl.name,
             backend=self.name,
             seconds=seconds,
@@ -47,4 +47,4 @@ class MPEBackend(Backend):
             compute_seconds=compute,
             memory_seconds=memory,
             notes={"bound": "compute" if compute >= memory else "memory"},
-        )
+        ))

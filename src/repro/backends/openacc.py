@@ -61,7 +61,7 @@ class OpenACCBackend(Backend):
 
         overhead = wl.launch_regions * LAUNCH_OVERHEAD + serial
         seconds = max(compute, memory) + overhead
-        return KernelReport(
+        return self._trace_report(KernelReport(
             name=wl.name,
             backend=self.name,
             seconds=seconds,
@@ -75,4 +75,4 @@ class OpenACCBackend(Backend):
                 "gld_fallback": not wl.acc_ldm_fit,
                 "serial_seconds": serial,
             },
-        )
+        ))

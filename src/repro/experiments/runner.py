@@ -4,16 +4,23 @@ Usage::
 
     python -m repro.experiments.runner table1 figure7
     python -m repro.experiments.runner --all
-    python -m repro.experiments.runner --all --quick   # shorten sims
+    python -m repro.experiments.runner --all --quick     # shorten sims
+    python -m repro.experiments.runner table1 --logdir experiment_logs
 
+Each experiment is recorded into a structured :class:`~repro.utils.logging.RunLog`
+(one event per paper-vs-measured row, plus start/verdict events) rather
+than ad-hoc prints; ``--logdir`` writes one JSONL file per experiment.
 Exit status is nonzero if any shape check fails, so the runner can
 gate CI.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 
+from ..utils.logging import RunLog
 from . import (
     run_figure4,
     run_figure5,
@@ -39,21 +46,64 @@ DRIVERS = {
 }
 
 
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run paper-reproduction experiment drivers.",
+    )
+    p.add_argument("experiments", nargs="*",
+                   help=f"experiment names (choose from {sorted(DRIVERS)})")
+    p.add_argument("--all", action="store_true", help="run every driver")
+    p.add_argument("--quick", action="store_true", help="shorten simulations")
+    p.add_argument("--logdir", default=None, metavar="DIR",
+                   help="write one structured JSONL log per experiment to DIR")
+    return p
+
+
+def run_experiment(name: str, quick: bool = False) -> RunLog:
+    """Run one driver; returns its structured log.
+
+    The log carries a ``start`` event, one ``record`` event per
+    paper-vs-measured row (with the pass/fail verdict and rendered
+    ratio in the metadata), and a final ``verdict`` event.
+    """
+    log = RunLog(name)
+    log.record("start", name, quick=quick)
+    table = DRIVERS[name](quick)
+    for rec in table.records:
+        log.record(
+            "record",
+            rec.measured_value,
+            quantity=rec.quantity,
+            paper=rec.paper_value,
+            ratio=rec.ratio_text,
+            criterion=rec.criterion,
+            passed=rec.passed,
+        )
+    log.record("verdict", "pass" if table.all_passed else "MISS",
+               records=len(table.records))
+    log.record("table", table.render())
+    return log
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    quick = "--quick" in args
-    args = [a for a in args if not a.startswith("--")]
-    if "--all" in (sys.argv[1:] if argv is None else argv) or not args:
-        args = list(DRIVERS)
-    unknown = [a for a in args if a not in DRIVERS]
+    ns = _parser().parse_args(sys.argv[1:] if argv is None else argv)
+    names = list(DRIVERS) if (ns.all or not ns.experiments) else ns.experiments
+    unknown = [a for a in names if a not in DRIVERS]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(DRIVERS)}")
         return 2
+    if ns.logdir:
+        os.makedirs(ns.logdir, exist_ok=True)
     ok = True
-    for name in args:
+    for name in names:
         print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}")
-        table = DRIVERS[name](quick)
-        ok = ok and table.all_passed
+        log = run_experiment(name, ns.quick)
+        ok = ok and log.last("verdict") == "pass"
+        if ns.logdir:
+            path = os.path.join(ns.logdir, f"{name}.jsonl")
+            log.write_jsonl(path)
+            print(f"[log] {path} ({len(log)} events)")
     print(f"\noverall: {'ALL SHAPE CHECKS PASS' if ok else 'SOME CHECKS FAILED'}")
     return 0 if ok else 1
 

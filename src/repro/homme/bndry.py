@@ -31,7 +31,7 @@ from .. import constants as C
 from ..errors import KernelError
 from ..mesh.cubed_sphere import CubedSphereMesh
 from ..mesh.partition import SFCPartition
-from ..network.simmpi import SimMPI
+from ..network.simmpi import SimMPI, rank_track
 
 #: Memory-copy bandwidth for pack/unpack staging [bytes/s] (one CG's share).
 MEMCPY_BANDWIDTH = C.SW_MEMORY_BANDWIDTH / C.SW_CORE_GROUPS
@@ -182,17 +182,24 @@ class HaloExchanger:
         report = ExchangeReport(mode=mode)
         dropped0 = mpi.messages_dropped
         retrans0 = mpi.retransmissions
+        tracer = mpi.tracer
         accs = []
 
         # Phase 1: compute + pack + send on every rank.
         sends = []
         for r in range(self.nranks):
+            track = rank_track(r)
+            t0 = mpi.now(r)
             if mode == "classic":
                 # All kernel work happens before any communication.
                 mpi.compute(r, bc[r] + ic[r])
             else:
                 # Boundary elements first; inner is deferred.
                 mpi.compute(r, bc[r])
+            if tracer.enabled:
+                name = "compute" if mode == "classic" else "compute.boundary"
+                tracer.span_at(track, name, t0, mpi.now(r), cat="exchange",
+                               tag=tag)
             acc = self._local_accumulate(r, flats[r])
             accs.append(acc)
             for p in self.peers[r]:
@@ -202,14 +209,26 @@ class HaloExchanger:
                 # Pack memcpy: classic stages through the pack buffer.
                 pack_copies = 2 if mode == "classic" else 1
                 t_pack = pack_copies * payload.nbytes / MEMCPY_BANDWIDTH
+                t1 = mpi.now(r)
                 mpi.compute(r, t_pack)
                 report.memcpy_seconds += t_pack
+                if tracer.enabled:
+                    tracer.span_at(track, "pack", t1, mpi.now(r),
+                                   cat="exchange", peer=p, tag=tag,
+                                   nbytes=payload.nbytes, copies=pack_copies)
+                    tracer.span_at(track, "send", mpi.now(r), mpi.now(r),
+                                   cat="exchange", peer=p, tag=tag,
+                                   nbytes=payload.nbytes)
                 sends.append(mpi.isend(r, p, payload, tag=tag))
 
         # Phase 2: overlap window — inner compute happens while in flight.
         if mode == "overlap":
             for r in range(self.nranks):
+                t0 = mpi.now(r)
                 mpi.compute(r, ic[r])
+                if tracer.enabled:
+                    tracer.span_at(rank_track(r), "overlap", t0, mpi.now(r),
+                                   cat="exchange", tag=tag)
 
         # Phase 3: receive, unpack, finalize.
         outs: list[np.ndarray] = []
@@ -226,8 +245,13 @@ class HaloExchanger:
                 # buffer -> elements (2 copies); redesign goes direct (1).
                 unpack_copies = 2 if mode == "classic" else 1
                 t_unpack = unpack_copies * data.nbytes / MEMCPY_BANDWIDTH
+                t2 = mpi.now(r)
                 mpi.compute(r, t_unpack)
                 report.memcpy_seconds += t_unpack
+                if tracer.enabled:
+                    tracer.span_at(rank_track(r), "unpack", t2, mpi.now(r),
+                                   cat="exchange", peer=p, tag=tag,
+                                   nbytes=data.nbytes, copies=unpack_copies)
             # Final division by assembled weights at local points.
             gids = self.local_flat_gid[r]
             pos = np.searchsorted(acc["gids"], gids)

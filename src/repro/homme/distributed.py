@@ -22,7 +22,8 @@ from .. import constants as C
 from ..errors import KernelError
 from ..mesh.cubed_sphere import CubedSphereMesh
 from ..mesh.partition import SFCPartition
-from ..network.simmpi import SimMPI
+from ..network.simmpi import SimMPI, rank_track
+from ..obs.tracer import NULL_TRACER
 from .bndry import HaloExchanger
 from .element import ElementGeometry
 from .shallow_water import SWState, williamson2_initial
@@ -40,15 +41,17 @@ class DistributedShallowWater:
         mode: str = "overlap",
         compute_cost_per_element: float = 1.0e-5,
         faults=None,
+        tracer=None,
     ) -> None:
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
         self.mesh = mesh
         self.nranks = nranks
         self.mode = mode
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.part = SFCPartition(mesh.ne, nranks)
         self.hx = HaloExchanger(mesh, self.part)
-        self.mpi = SimMPI(nranks, faults=faults)
+        self.mpi = SimMPI(nranks, faults=faults, tracer=self.tracer)
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
@@ -120,7 +123,9 @@ class DistributedShallowWater:
         dh = -op.divergence_sphere(s.v * s.h[..., None], geom)
         return dh, dv
 
-    def _stage(self, bases: list[SWState], points: list[SWState], dt: float) -> list[SWState]:
+    def _stage(self, bases: list[SWState], points: list[SWState], dt: float,
+               stage: int = 0) -> list[SWState]:
+        t0s = [self.mpi.now(r) for r in range(self.nranks)]
         hs, vs = [], []
         for r in range(self.nranks):
             dh, dv = self._rhs(r, points[r])
@@ -128,14 +133,27 @@ class DistributedShallowWater:
             vs.append(bases[r].v + dt * dv)
         hs = self._dss_scalar(hs)
         vs = self._dss_vector(vs)
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "rk_stage", t0s[r], self.mpi.now(r),
+                    cat="model", stage=stage, step=self.step_count,
+                )
         return [SWState(h=h, v=v) for h, v in zip(hs, vs)]
 
     def step(self) -> None:
         """One distributed RK3 step (three halo-exchange rounds)."""
+        t0s = [self.mpi.now(r) for r in range(self.nranks)]
         s0 = self.states
-        s1 = self._stage(s0, s0, self.dt / 3.0)
-        s2 = self._stage(s0, s1, self.dt / 2.0)
-        self.states = self._stage(s0, s2, self.dt)
+        s1 = self._stage(s0, s0, self.dt / 3.0, stage=1)
+        s2 = self._stage(s0, s1, self.dt / 2.0, stage=2)
+        self.states = self._stage(s0, s2, self.dt, stage=3)
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "step", t0s[r], self.mpi.now(r),
+                    cat="model", step=self.step_count,
+                )
         self.t += self.dt
         self.step_count += 1
 
@@ -210,6 +228,7 @@ class DistributedPrimitiveEquations:
         dt: float,
         mode: str = "overlap",
         faults=None,
+        tracer=None,
     ) -> None:
         from ..homme.hypervis import nu_for_ne
 
@@ -220,9 +239,10 @@ class DistributedPrimitiveEquations:
         self.nranks = nranks
         self.mode = mode
         self.dt = dt
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.part = SFCPartition(mesh.ne, nranks)
         self.hx = HaloExchanger(mesh, self.part)
-        self.mpi = SimMPI(nranks, faults=faults)
+        self.mpi = SimMPI(nranks, faults=faults, tracer=self.tracer)
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
@@ -285,9 +305,10 @@ class DistributedPrimitiveEquations:
 
     # -- one distributed dynamics step ------------------------------------------------
 
-    def _rk_stage(self, bases, points, dt):
+    def _rk_stage(self, bases, points, dt, stage=0):
         from .rhs import compute_rhs
 
+        t0s = [self.mpi.now(r) for r in range(self.nranks)]
         vs, Ts, dps = [], [], []
         for r in range(self.nranks):
             dv, dT, ddp = compute_rhs(points[r], self.geoms[r])
@@ -297,6 +318,12 @@ class DistributedPrimitiveEquations:
         Ts = self._dss_levels(Ts)
         dps = self._dss_levels(dps)
         vs = self._dss_vector_levels(vs)
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "rk_stage", t0s[r], self.mpi.now(r),
+                    cat="model", stage=stage, step=self.step_count,
+                )
         out = []
         for r in range(self.nranks):
             s = bases[r].copy()
@@ -311,12 +338,14 @@ class DistributedPrimitiveEquations:
         from . import operators as op
 
         dt = self.dt
+        step_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         s0 = self.states
-        s1 = self._rk_stage(s0, s0, dt / 3.0)
-        s2 = self._rk_stage(s0, s1, dt / 2.0)
-        s3 = self._rk_stage(s0, s2, dt)
+        s1 = self._rk_stage(s0, s0, dt / 3.0, stage=1)
+        s2 = self._rk_stage(s0, s1, dt / 2.0, stage=2)
+        s3 = self._rk_stage(s0, s2, dt, stage=3)
 
         # Tracer advection: subcycled SSP-RK2, distributed DSS per stage.
+        euler_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         sub = self.cfg.tracer_subcycles
         sdt = dt / sub
         for _ in range(sub):
@@ -357,8 +386,15 @@ class DistributedPrimitiveEquations:
                 limited = self._dss_levels(limited)
                 for r in range(self.nranks):
                     s3[r].qdp[:, q] = limited[r]
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "euler_step", euler_t0s[r], self.mpi.now(r),
+                    cat="model", step=self.step_count,
+                )
 
         # Hyperviscosity (single subcycle configuration assumed small dt).
+        hv_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         lap_T = self._dss_levels(
             [op.laplace_sphere_wk(s3[r].T, self.geoms[r]) for r in range(self.nranks)]
         )
@@ -381,13 +417,31 @@ class DistributedPrimitiveEquations:
             s3[r].T = s3[r].T - dt * self.nu * bih_T[r]
             s3[r].v = s3[r].v - dt * self.nu * bih_v[r]
             s3[r].dp3d = s3[r].dp3d - dt * self.nu * bih_dp[r]
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "hypervis", hv_t0s[r], self.mpi.now(r),
+                    cat="model", step=self.step_count,
+                )
 
         self.step_count += 1
         if self.step_count % RSPLIT == 0:
             for r in range(self.nranks):
                 s3[r] = vertical_remap(s3[r])
+            if self.tracer.enabled:
+                for r in range(self.nranks):
+                    self.tracer.instant(
+                        rank_track(r), "vertical_remap", self.mpi.now(r),
+                        cat="model", step=self.step_count,
+                    )
         self.t += dt
         self.states = s3
+        if self.tracer.enabled:
+            for r in range(self.nranks):
+                self.tracer.span_at(
+                    rank_track(r), "step", step_t0s[r], self.mpi.now(r),
+                    cat="model", step=self.step_count - 1,
+                )
 
     def run_steps(self, n: int) -> None:
         for _ in range(n):

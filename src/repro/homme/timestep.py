@@ -26,6 +26,7 @@ from .. import constants as C
 from ..config import ModelConfig
 from ..errors import KernelError
 from ..mesh.cubed_sphere import CubedSphereMesh
+from ..obs.tracer import NULL_TRACER
 from ..utils.logging import RunLog
 from .element import ElementGeometry, ElementState
 from .euler import euler_step_subcycled
@@ -57,6 +58,12 @@ class PrimitiveEquationModel:
         Optional physics callback applied after each dynamics step.
     dt:
         Override the CFL-derived dynamics timestep.
+    tracer:
+        Observability tracer (:mod:`repro.obs`).  The serial model has
+        no simulated hardware clock, so its spans live on the *model
+        time* axis: each step spans ``[t, t + dt]`` on the "serial"
+        track, with schematic sub-spans for the RK stages, tracer
+        advection, hyperviscosity, and remap phases.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class PrimitiveEquationModel:
         hypervis: bool = True,
         nu: float | None = None,
         phis: np.ndarray | None = None,
+        tracer=None,
     ) -> None:
         self.cfg = cfg
         self.mesh = mesh if mesh is not None else CubedSphereMesh(cfg.ne, cfg.np)
@@ -95,6 +103,7 @@ class PrimitiveEquationModel:
         self.phis = phis
         self.t = 0.0
         self.step_count = 0
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.log = RunLog("prim_run")
 
     # -- one dynamics step ------------------------------------------------------
@@ -119,13 +128,37 @@ class PrimitiveEquationModel:
             s3 = advance_hypervis(s3, geom, dt, self.cfg.ne, nu=self.nu)
 
         self.step_count += 1
-        if self.step_count % RSPLIT == 0:
+        remapped = self.step_count % RSPLIT == 0
+        if remapped:
             s3 = vertical_remap(s3)
 
+        if self.tracer.enabled:
+            self._trace_step(self.t, dt, remapped)
         self.t += dt
         if self.forcing is not None:
             self.forcing(s3, geom, self.t, dt)
         self.state = s3
+
+    def _trace_step(self, t: float, dt: float, remapped: bool) -> None:
+        """Schematic model-time spans for one serial step.
+
+        The serial driver charges no simulated hardware clock, so phase
+        sub-spans partition ``[t, t + dt]`` at fixed fractions — enough
+        to see the step structure (and remap cadence) on a timeline.
+        """
+        tr = self.tracer
+        tr.span_at("serial", "step", t, t + dt, cat="model",
+                   step=self.step_count - 1)
+        tr.span_at("serial", "compute_and_apply_rhs", t, t + 0.45 * dt,
+                   cat="model")
+        tr.span_at("serial", "euler_step", t + 0.45 * dt, t + 0.7 * dt,
+                   cat="model")
+        if self.hypervis:
+            tr.span_at("serial", "hypervis", t + 0.7 * dt, t + 0.9 * dt,
+                       cat="model")
+        if remapped:
+            tr.span_at("serial", "vertical_remap", t + 0.9 * dt, t + dt,
+                       cat="model")
 
     def run_steps(self, n: int) -> None:
         """Advance ``n`` dynamics steps."""

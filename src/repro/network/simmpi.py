@@ -36,12 +36,19 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import SimMPIError, SimMPITimeoutError
+from ..obs.tracer import NULL_TRACER
 from ..utils.timing import SimClock
 from .costmodel import NetworkCostModel
 from .topology import TaihuLightTopology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..obs.tracer import NullTracer
     from ..resilience.faults import FaultInjector
+
+
+def rank_track(rank: int) -> str:
+    """Canonical trace-track name for a simulated rank."""
+    return f"rank{rank}"
 
 
 @dataclass
@@ -91,6 +98,12 @@ class SimMPI:
     backoff:
         Multiplier applied to the timeout window after each failed
         retransmission (exponential backoff).
+    tracer:
+        Observability tracer (:mod:`repro.obs`).  The default
+        :data:`~repro.obs.tracer.NULL_TRACER` records nothing; a real
+        :class:`~repro.obs.Tracer` gets per-rank send instants, receive
+        wait spans, collective spans, and retransmission events — all
+        stamped in simulated time, never perturbing the clocks.
     """
 
     def __init__(
@@ -101,6 +114,7 @@ class SimMPI:
         timeout: float | None = None,
         max_retries: int = 3,
         backoff: float = 2.0,
+        tracer: "NullTracer | None" = None,
     ) -> None:
         if nranks < 1:
             raise SimMPIError(f"nranks must be >= 1, got {nranks}")
@@ -121,6 +135,7 @@ class SimMPI:
         self.timeout = cost.suggested_timeout() if timeout is None else float(timeout)
         self.max_retries = max_retries
         self.backoff = backoff
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._clocks = [SimClock() for _ in range(nranks)]
         self._mailbox: dict[tuple[int, int, int], deque[_Message]] = {}
         #: Dropped messages awaiting retransmission (sender-side copies).
@@ -188,6 +203,11 @@ class SimMPI:
             self._mailbox.setdefault((src, dst, tag), deque()).append(msg)
         self.messages_sent += 1
         self.bytes_sent += payload.nbytes
+        if self.tracer.enabled:
+            self.tracer.instant(
+                rank_track(src), "mpi.isend", t_send, cat="mpi",
+                dst=dst, tag=tag, nbytes=payload.nbytes, fate=fate,
+            )
         return SimRequest(
             "send", src, dst, tag,
             completion_time=t_send, payload=msg.payload, done=True, comm=self,
@@ -229,12 +249,19 @@ class SimMPI:
                 )
             msg = self._recover(key, lost.popleft())
         clock = self._clocks[req.rank]
+        t_wait = clock.now
         waited = max(0.0, msg.arrival - clock.now)
         self.comm_seconds[req.rank] += waited
         clock.advance_to(msg.arrival)
         req.done = True
         req.completion_time = clock.now
         req.payload = msg.payload
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                rank_track(req.rank), "mpi.wait", t_wait, clock.now, cat="mpi",
+                src=req.peer, tag=req.tag, nbytes=msg.payload.nbytes,
+                waited=waited,
+            )
         return msg.payload
 
     def _recover(self, key: tuple[int, int, int], msg: _Message) -> _Message:
@@ -259,6 +286,11 @@ class SimMPI:
             delivered = True
             if self.faults is not None:
                 delivered = self.faults.on_retransmit(src, dst, msg.tag, attempt)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    rank_track(dst), "mpi.retransmit", t, cat="fault",
+                    src=src, tag=msg.tag, attempt=attempt, delivered=delivered,
+                )
             if delivered:
                 msg.arrival = t + transfer
                 return msg
@@ -300,6 +332,11 @@ class SimMPI:
         start = max(c.now for c in self._clocks)
         t = start + self.cost.allreduce_time(self.nranks, total.nbytes)
         for r, c in enumerate(self._clocks):
+            if self.tracer.enabled:
+                self.tracer.span_at(
+                    rank_track(r), "mpi.allreduce", c.now, t, cat="mpi",
+                    nbytes=total.nbytes,
+                )
             self.comm_seconds[r] += max(0.0, t - c.now)
             c.advance_to(t)
         return total
@@ -309,6 +346,10 @@ class SimMPI:
         start = max(c.now for c in self._clocks)
         t = start + self.cost.barrier_time(self.nranks)
         for r, c in enumerate(self._clocks):
+            if self.tracer.enabled:
+                self.tracer.span_at(
+                    rank_track(r), "mpi.barrier", c.now, t, cat="mpi",
+                )
             self.comm_seconds[r] += max(0.0, t - c.now)
             c.advance_to(t)
         return t

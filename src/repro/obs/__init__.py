@@ -1,0 +1,71 @@
+"""repro.obs — the unified observability layer.
+
+Three coordinated pieces (DESIGN.md Section 7):
+
+- :mod:`repro.obs.tracer` — hierarchical spans over **simulated** time
+  (:class:`Tracer`), with a zero-cost disabled default
+  (:data:`NULL_TRACER`);
+- :mod:`repro.obs.recorder` — the :class:`FlightRecorder` event store
+  with JSONL, Chrome trace-event, and text-summary exports;
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` unifying
+  every simulator counter under one dotted namespace, plus the
+  per-component ``collect_*`` helpers;
+- :mod:`repro.obs.roofline_report` — per-kernel roofline attribution
+  computed from recorded kernel spans.
+
+Quickstart::
+
+    from repro.obs import Tracer
+    from repro.homme.distributed import DistributedShallowWater
+    from repro.mesh import CubedSphereMesh
+
+    tracer = Tracer()
+    model = DistributedShallowWater(CubedSphereMesh(ne=4), nranks=4,
+                                    tracer=tracer)
+    model.run_steps(2)
+    tracer.recorder.write_chrome_trace("trace.json")  # open in Perfetto
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Tracer
+from .recorder import FlightRecorder, TraceEvent, validate_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_dma,
+    collect_exchange_report,
+    collect_faults,
+    collect_ldm,
+    collect_perf_counters,
+    collect_simmpi,
+)
+from .roofline_report import (
+    KernelAttribution,
+    attribute_kernels,
+    render_roofline_report,
+    roofline_report,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "FlightRecorder",
+    "TraceEvent",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_dma",
+    "collect_exchange_report",
+    "collect_faults",
+    "collect_ldm",
+    "collect_perf_counters",
+    "collect_simmpi",
+    "KernelAttribution",
+    "attribute_kernels",
+    "render_roofline_report",
+    "roofline_report",
+]

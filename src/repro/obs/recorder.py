@@ -1,0 +1,250 @@
+"""The flight recorder: event storage, JSONL, and Chrome trace export.
+
+A :class:`FlightRecorder` accumulates :class:`TraceEvent` rows emitted
+by a :class:`~repro.obs.tracer.Tracer` and exports them three ways:
+
+- **JSONL** (:meth:`FlightRecorder.to_jsonl`): one canonical JSON
+  object per event, sorted keys, stable ordering — the format the
+  determinism tests compare byte-for-byte;
+- **Chrome trace-event JSON** (:meth:`FlightRecorder.chrome_trace`):
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev, one
+  named thread per track (per simulated rank, DMA engine, backend);
+- **text summary** (:meth:`FlightRecorder.text_summary`): a pure-python
+  per-track/per-span aggregate for tests and CI logs.
+
+Timestamps are simulated seconds; the Chrome export scales them to the
+format's microsecond unit.  :func:`validate_chrome_trace` is the schema
+check used by the CI smoke job and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..utils.logging import jsonable as _jsonable
+
+#: Chrome trace-event timestamps are microseconds.
+_CHROME_US_PER_SECOND = 1e6
+
+#: Event phases the recorder emits (a subset of the trace-event spec).
+PHASES = ("X", "i", "C")
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event on a named track.
+
+    ``ph`` follows the Chrome trace-event phase codes: "X" complete
+    span, "i" instant, "C" counter.  ``ts``/``dur`` are simulated
+    seconds; ``seq`` is the recording order (the tiebreaker that keeps
+    exports deterministic).
+    """
+
+    seq: int
+    track: str
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class FlightRecorder:
+    """Append-only store of trace events with deterministic exports."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+        #: Track names in first-seen order (Chrome tid assignment).
+        self._tracks: list[str] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: float = 0.0,
+        args: dict[str, Any] | None = None,
+    ) -> TraceEvent:
+        """Append one event; returns it (mainly for tests)."""
+        if ph not in PHASES:
+            raise ValueError(f"unknown trace phase {ph!r}; expected one of {PHASES}")
+        ev = TraceEvent(self._seq, track, name, cat, ph,
+                        float(ts), float(dur), dict(args or {}))
+        self._seq += 1
+        if track not in self._tracks:
+            self._tracks.append(track)
+        self.events.append(ev)
+        return ev
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def tracks(self) -> list[str]:
+        """Track names in first-seen order."""
+        return list(self._tracks)
+
+    def spans(self, track: str | None = None, name: str | None = None,
+              cat: str | None = None) -> list[TraceEvent]:
+        """Completed spans, optionally filtered."""
+        return [
+            e for e in self.events
+            if e.ph == "X"
+            and (track is None or e.track == track)
+            and (name is None or e.name == name)
+            and (cat is None or e.cat == cat)
+        ]
+
+    def instants(self, track: str | None = None,
+                 name: str | None = None) -> list[TraceEvent]:
+        """Instant events, optionally filtered."""
+        return [
+            e for e in self.events
+            if e.ph == "i"
+            and (track is None or e.track == track)
+            and (name is None or e.name == name)
+        ]
+
+    # -- JSONL export -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per line (determinism-comparable)."""
+        lines = []
+        for e in self.events:
+            row = {
+                "seq": e.seq,
+                "track": e.track,
+                "name": e.name,
+                "cat": e.cat,
+                "ph": e.ph,
+                "ts": e.ts,
+                "dur": e.dur,
+                "args": _jsonable(e.args),
+            }
+            lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> None:
+        """Stream the JSONL export to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    # -- Chrome trace export ---------------------------------------------------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        One process (pid 0) with one named thread per track; spans are
+        "X" complete events, instants thread-scoped "i" events, counter
+        samples "C" events.  Load the written file in ``chrome://tracing``
+        or https://ui.perfetto.dev.
+        """
+        tids = {track: i for i, track in enumerate(self._tracks)}
+        out: list[dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in tids.items()
+        ]
+        for e in self.events:
+            row: dict[str, Any] = {
+                "name": e.name,
+                "cat": e.cat or "default",
+                "ph": e.ph,
+                "ts": e.ts * _CHROME_US_PER_SECOND,
+                "pid": 0,
+                "tid": tids[e.track],
+            }
+            if e.ph == "X":
+                row["dur"] = e.dur * _CHROME_US_PER_SECOND
+            if e.ph == "i":
+                row["s"] = "t"  # thread-scoped instant
+            if e.ph == "C":
+                row["args"] = {e.name: _jsonable(e.args.get("value", 0.0))}
+            elif e.args:
+                row["args"] = _jsonable(e.args)
+            out.append(row)
+        return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, sort_keys=True)
+
+    # -- text summary -------------------------------------------------------------
+
+    def text_summary(self) -> str:
+        """Per-track, per-name aggregates (pure python, for tests/CI)."""
+        lines = [f"FlightRecorder {self.name!r}: {len(self.events)} events, "
+                 f"{len(self._tracks)} tracks"]
+        for track in self._tracks:
+            lines.append(f"  track {track}")
+            agg: dict[tuple[str, str], tuple[int, float]] = {}
+            for e in self.events:
+                if e.track != track:
+                    continue
+                key = (e.ph, e.name)
+                n, total = agg.get(key, (0, 0.0))
+                agg[key] = (n + 1, total + e.dur)
+            for (ph, name), (n, total) in sorted(agg.items()):
+                if ph == "X":
+                    lines.append(
+                        f"    span {name}: n={n} total={total:.3e}s"
+                    )
+                elif ph == "i":
+                    lines.append(f"    instant {name}: n={n}")
+                else:
+                    lines.append(f"    counter {name}: n={n}")
+        return "\n".join(lines)
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    An empty list means the trace is loadable: a ``traceEvents`` array
+    whose entries carry the phase-appropriate required fields.  Used by
+    the CI smoke job (``scripts/validate_trace.py``) and the tests.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace object lacks a 'traceEvents' array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        if "pid" not in ev or "tid" not in ev:
+            problems.append(f"{where}: missing pid/tid")
+        if ph in ("X", "B", "E", "i", "I", "C"):
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: 'C' event needs an args object")
+    return problems

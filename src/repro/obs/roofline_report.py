@@ -1,0 +1,116 @@
+"""Roofline attribution from recorded kernel spans.
+
+Backends annotate every kernel span (``cat="kernel"``) with its flop and
+byte counts, so the flight recorder can place each execution on the core
+group's roofline after the fact: was the kernel memory- or
+compute-limited, what is the attainable rate at its arithmetic
+intensity, and what fraction of that bound did the simulated execution
+achieve?  This is the trace-side counterpart of the projection the paper
+used to pick Athread-rewrite targets (Section 7.1), and cross-checks the
+same flop counts the PERF-style counters report (Section 8.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..utils.tables import render_table
+from .recorder import FlightRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sunway.spec import SW26010Spec
+
+# ``repro.core``/``repro.sunway`` are imported lazily inside the
+# attribution functions: instrumented modules (backends, DMA, LDM)
+# import ``repro.obs`` at load time, and a module-level import here
+# would close an import cycle through ``repro.core.pipeline``.
+
+
+@dataclass(frozen=True)
+class KernelAttribution:
+    """One kernel execution placed on the roofline."""
+
+    name: str
+    backend: str
+    seconds: float
+    flops: float
+    bytes_moved: float
+    arithmetic_intensity: float
+    bound: str                 # "memory" or "compute"
+    bound_seconds: float       # roofline lower bound at this intensity
+    achieved_flops: float      # flop/s the execution sustained
+    attainable_flops: float    # flop/s at the roofline bound
+    achieved_fraction: float   # achieved / attainable in [0, ~1]
+
+
+def attribute_kernels(
+    recorder: FlightRecorder, spec: SW26010Spec | None = None
+) -> list[KernelAttribution]:
+    """Roofline-attribute every ``cat="kernel"`` span in the recorder.
+
+    Kernel spans must carry ``flops`` and ``bytes`` args (the backends'
+    tracing hook guarantees this); spans without them are skipped.
+    ``spec`` defaults to the SW26010 core-group spec.
+    """
+    from ..core.roofline import roofline_time
+    from ..sunway.spec import DEFAULT_SPEC
+
+    if spec is None:
+        spec = DEFAULT_SPEC
+    out: list[KernelAttribution] = []
+    for ev in recorder.spans(cat="kernel"):
+        flops = float(ev.args.get("flops", 0.0))
+        nbytes = float(ev.args.get("bytes", 0.0))
+        if flops <= 0 or nbytes <= 0 or ev.dur <= 0:
+            continue
+        point = roofline_time(flops, nbytes, spec)
+        achieved = flops / ev.dur
+        out.append(
+            KernelAttribution(
+                name=ev.name,
+                backend=str(ev.args.get("backend", ev.track)),
+                seconds=ev.dur,
+                flops=flops,
+                bytes_moved=nbytes,
+                arithmetic_intensity=point.arithmetic_intensity,
+                bound=point.bound,
+                bound_seconds=point.time_bound,
+                achieved_flops=achieved,
+                attainable_flops=point.attainable_flops,
+                achieved_fraction=achieved / point.attainable_flops,
+            )
+        )
+    return out
+
+
+def render_roofline_report(attributions: list[KernelAttribution]) -> str:
+    """Text table: per kernel, bound class and achieved fraction."""
+    if not attributions:
+        return "roofline attribution: no kernel spans recorded"
+    rows = [
+        [
+            a.name,
+            a.backend,
+            f"{a.arithmetic_intensity:.2f}",
+            a.bound,
+            f"{a.seconds:.3e}",
+            f"{a.bound_seconds:.3e}",
+            f"{a.achieved_flops / 1e9:.2f}",
+            f"{a.achieved_fraction * 100:.1f}%",
+        ]
+        for a in attributions
+    ]
+    return render_table(
+        ["kernel", "backend", "flops/byte", "bound", "seconds",
+         "bound seconds", "GF/s", "of bound"],
+        rows,
+        title="Roofline attribution (per recorded kernel span)",
+    )
+
+
+def roofline_report(
+    recorder: FlightRecorder, spec: SW26010Spec | None = None
+) -> str:
+    """Convenience: attribute and render in one call."""
+    return render_roofline_report(attribute_kernels(recorder, spec))

@@ -32,6 +32,14 @@ class ExperimentRecord:
         return self.measured_value / self.paper_value
 
     @property
+    def ratio_text(self) -> str:
+        """Rendered ratio; a zero paper value is judged absolutely, so
+        the ratio is meaningless — render a sentinel, never ``inf``."""
+        if self.paper_value == 0:
+            return "n/a (abs)"
+        return f"{self.ratio:.2f}"
+
+    @property
     def passed(self) -> bool:
         if self.paper_value == 0:
             # Absolute criterion: measured must be within tolerance of 0.
@@ -64,7 +72,7 @@ class ComparisonTable:
 
     def render(self) -> str:
         rows = [
-            [r.quantity, r.paper_value, r.measured_value, f"{r.ratio:.2f}",
+            [r.quantity, r.paper_value, r.measured_value, r.ratio_text,
              "pass" if r.passed else "MISS"]
             for r in self.records
         ]
@@ -85,6 +93,6 @@ class ComparisonTable:
         for r in self.records:
             lines.append(
                 f"| {r.quantity} | {r.paper_value:.4g} | {r.measured_value:.4g} "
-                f"| {r.ratio:.2f} | {'pass' if r.passed else 'MISS'} |"
+                f"| {r.ratio_text} | {'pass' if r.passed else 'MISS'} |"
             )
         return "\n".join(lines)

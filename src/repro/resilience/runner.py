@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ResilienceError
+from ..obs.tracer import NULL_TRACER
 from .checkpoint import Checkpointer
 from .faults import FaultInjector, flip_bit
 from .validator import StateValidator
@@ -61,6 +62,11 @@ class ResilientRunner:
         model's SimMPI so one seed governs the whole run.
     max_rollbacks:
         Recovery budget for a single :meth:`run` call.
+    tracer:
+        Observability tracer (:mod:`repro.obs`): fault injections,
+        rollbacks, and checkpoint writes appear as instant events on
+        the "resilience" track, stamped with the model's simulated time
+        (``max_rank_time``) when available, the step count otherwise.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class ResilientRunner:
         validator: StateValidator | None = None,
         faults: FaultInjector | None = None,
         max_rollbacks: int = 3,
+        tracer=None,
     ) -> None:
         if max_rollbacks < 0:
             raise ResilienceError(f"max_rollbacks must be >= 0, got {max_rollbacks}")
@@ -78,7 +85,15 @@ class ResilientRunner:
         self.validator = validator or StateValidator()
         self.faults = faults
         self.max_rollbacks = max_rollbacks
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.report = RunReport()
+
+    def _trace_now(self) -> float:
+        """Simulated timestamp for resilience events."""
+        max_rank_time = getattr(self.model, "max_rank_time", None)
+        if max_rank_time is not None:
+            return float(max_rank_time())
+        return float(self.model.step_count)
 
     # -- fault application ----------------------------------------------------
 
@@ -97,6 +112,12 @@ class ResilientRunner:
                 f"step {self.model.step_count}: SDC injected in rank "
                 f"{bf.rank} {bf.field_name} (word {bf.word}, bit {bf.bit})"
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "resilience", "fault.sdc", self._trace_now(), cat="fault",
+                    step=self.model.step_count, rank=bf.rank,
+                    field=bf.field_name, word=bf.word, bit=bf.bit,
+                )
 
     # -- driving ---------------------------------------------------------------
 
@@ -119,6 +140,11 @@ class ResilientRunner:
                 continue
             if self.checkpointer.maybe(self.model) is not None:
                 self.report.checkpoints += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "resilience", "checkpoint", self._trace_now(),
+                        cat="resilience", step=self.model.step_count,
+                    )
         if self.faults is not None:
             self.report.fault_summary = self.faults.summary()
         return self.report
@@ -135,3 +161,8 @@ class ResilientRunner:
             f"validation failed ({'; '.join(problems)}); "
             f"rolled back to step {restored}"
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "resilience", "rollback", self._trace_now(), cat="fault",
+                restored_step=restored, problems="; ".join(problems),
+            )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DMAError
+from ..obs.tracer import NULL_TRACER
 from .spec import SW26010Spec, DEFAULT_SPEC
 
 
@@ -70,6 +71,11 @@ class DMAEngine:
         Fraction of the CG memory bandwidth this engine can use.  When all
         64 CPEs stream simultaneously each sees ~1/64th of the channel;
         backends set this from their concurrency model.
+    tracer / track:
+        Observability hook (:mod:`repro.obs`): when a real tracer is
+        passed, every transfer becomes a span on ``track``, timed on the
+        engine's own cycle counter converted to seconds (the engine has
+        no SimClock; its timeline is cumulative busy time).
     """
 
     def __init__(
@@ -77,11 +83,15 @@ class DMAEngine:
         spec: SW26010Spec = DEFAULT_SPEC,
         bandwidth_share: float = 1.0 / 64.0,
         faults=None,
+        tracer=None,
+        track: str = "dma",
     ) -> None:
         if not (0.0 < bandwidth_share <= 1.0):
             raise DMAError(f"bandwidth_share must be in (0,1], got {bandwidth_share}")
         self.spec = spec
         self.bandwidth_share = bandwidth_share
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.track = track
         #: Optional FaultInjector whose scheduled bit flips corrupt the
         #: destination buffer of a transfer (silent data corruption).
         self.faults = faults
@@ -107,6 +117,13 @@ class DMAEngine:
         stream_s = nbytes / (self.bandwidth * eff / self.spec.dma_peak_efficiency)
         return self.spec.dma_startup_cycles + stream_s * self.spec.clock_hz
 
+    def _trace_transfer(self, name: str, nbytes: int, cycles: float, tag: str) -> None:
+        """Record a transfer span on the engine's cycle timeline."""
+        t1 = self.total_cycles / self.spec.clock_hz
+        t0 = (self.total_cycles - cycles) / self.spec.clock_hz
+        self.tracer.span_at(self.track, name, t0, t1, cat="dma",
+                            nbytes=nbytes, tag=tag)
+
     # -- functional transfers --------------------------------------------------
 
     def get(
@@ -128,6 +145,8 @@ class DMAEngine:
         self.bytes_get += src.nbytes
         self.transfer_count += 1
         self.total_cycles += cycles
+        if self.tracer.enabled:
+            self._trace_transfer("dma.get", src.nbytes, cycles, tag)
         return cycles
 
     def put(
@@ -149,6 +168,8 @@ class DMAEngine:
         self.bytes_put += src.nbytes
         self.transfer_count += 1
         self.total_cycles += cycles
+        if self.tracer.enabled:
+            self._trace_transfer("dma.put", src.nbytes, cycles, tag)
         return cycles
 
     # -- accounting-only interface (perf-model paths without real arrays) -----
@@ -159,6 +180,8 @@ class DMAEngine:
         self.bytes_get += nbytes
         self.transfer_count += 1
         self.total_cycles += cycles
+        if self.tracer.enabled:
+            self._trace_transfer("dma.get", nbytes, cycles, tag)
         return cycles
 
     def charge_put(self, nbytes: int, stride_bytes: int = 0, tag: str = "") -> float:
@@ -167,6 +190,8 @@ class DMAEngine:
         self.bytes_put += nbytes
         self.transfer_count += 1
         self.total_cycles += cycles
+        if self.tracer.enabled:
+            self._trace_transfer("dma.put", nbytes, cycles, tag)
         return cycles
 
     # -- double buffering ------------------------------------------------------
@@ -196,6 +221,8 @@ class DMAEngine:
         self._pending.remove(req)
         visible = max(req.cycles, compute_cycles)
         self.total_cycles += visible
+        if self.tracer.enabled:
+            self._trace_transfer("dma.prefetch", req.nbytes, visible, req.tag)
         return visible
 
     # -- reporting ---------------------------------------------------------------

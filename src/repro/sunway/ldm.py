@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import LDMAllocationError, LDMOverflowError
+from ..obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -42,18 +43,34 @@ class LDMBlock:
 
 
 class LDM:
-    """First-fit scratchpad allocator with exact capacity enforcement."""
+    """First-fit scratchpad allocator with exact capacity enforcement.
 
-    def __init__(self, capacity: int = 64 * 1024) -> None:
+    ``tracer``/``track`` (:mod:`repro.obs`) turn alloc/free traffic into
+    an occupancy counter series.  The LDM has no clock, so samples are
+    stamped with the allocator's own operation sequence number — the
+    resulting Chrome counter track shows occupancy per operation.
+    """
+
+    def __init__(self, capacity: int = 64 * 1024, tracer=None,
+                 track: str = "ldm") -> None:
         if capacity <= 0:
             raise ValueError("LDM capacity must be positive")
         self.capacity = capacity
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.track = track
         self._free: list[tuple[int, int]] = [(0, capacity)]  # (offset, size)
         self._blocks: dict[int, LDMBlock] = {}
         self._used = 0
         self._high_water = 0
         self._alloc_count = 0
+        self._op_seq = 0
         self._array_blocks: dict[int, LDMBlock] = {}
+
+    def _sample_occupancy(self) -> None:
+        """Emit one occupancy counter sample (op-sequence timeline)."""
+        self.tracer.counter(self.track, "ldm.used", float(self._op_seq),
+                            float(self._used))
+        self._op_seq += 1
 
     # -- queries -------------------------------------------------------------
 
@@ -101,6 +118,8 @@ class LDM:
                 self._used += aligned
                 self._high_water = max(self._high_water, self._used)
                 self._alloc_count += 1
+                if self.tracer.enabled:
+                    self._sample_occupancy()
                 return block
         raise LDMOverflowError(aligned, self.largest_free_block, label)
 
@@ -129,6 +148,8 @@ class LDM:
         del self._blocks[block.offset]
         self._used -= block.size
         self._insert_free(block.offset, block.size)
+        if self.tracer.enabled:
+            self._sample_occupancy()
 
     def free_array(self, arr: np.ndarray) -> None:
         """Release an array obtained from :meth:`alloc_array`."""
@@ -145,6 +166,8 @@ class LDM:
         self._blocks.clear()
         self._array_blocks.clear()
         self._used = 0
+        if self.tracer.enabled:
+            self._sample_occupancy()
 
     # -- internals -----------------------------------------------------------
 

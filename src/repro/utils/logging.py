@@ -3,21 +3,51 @@
 Experiments record (key, value) events into a :class:`RunLog`; drivers
 print them and tests assert on them.  This replaces ad-hoc prints so the
 experiment output is machine-checkable.
+
+Events share the observability layer's model (:mod:`repro.obs`): each
+carries a *simulated-time* timestamp ``t`` (never wall clock, so logs
+are deterministic) and a sequence number, and the whole log exports as
+JSONL — one canonical JSON object per event — which is what
+``repro.experiments.runner`` writes per experiment.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 
+def jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and other oddballs to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()  # numpy scalar
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()  # numpy array
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 @dataclass
 class LogEvent:
-    """One structured event: a named measurement with arbitrary metadata."""
+    """One structured event: a named measurement with arbitrary metadata.
+
+    ``t`` is the simulated time the event describes (0.0 when the
+    measurement has no time axis); ``seq`` is the append order.
+    """
 
     key: str
     value: Any
     meta: dict[str, Any] = field(default_factory=dict)
+    t: float = 0.0
+    seq: int = 0
 
 
 class RunLog:
@@ -27,9 +57,11 @@ class RunLog:
         self.name = name
         self._events: list[LogEvent] = []
 
-    def record(self, key: str, value: Any, **meta: Any) -> None:
-        """Append an event."""
-        self._events.append(LogEvent(key, value, dict(meta)))
+    def record(self, key: str, value: Any, *, t: float = 0.0, **meta: Any) -> None:
+        """Append an event stamped with simulated time ``t``."""
+        self._events.append(
+            LogEvent(key, value, dict(meta), float(t), len(self._events))
+        )
 
     def values(self, key: str) -> list[Any]:
         """All recorded values for ``key`` in order."""
@@ -53,3 +85,25 @@ class RunLog:
             meta = f"  {e.meta}" if e.meta else ""
             lines.append(f"  {e.key} = {e.value}{meta}")
         return "\n".join(lines)
+
+    # -- JSONL export -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per event (sorted keys, stable)."""
+        lines = []
+        for e in self._events:
+            row = {
+                "log": self.name,
+                "seq": e.seq,
+                "t": e.t,
+                "key": e.key,
+                "value": jsonable(e.value),
+                "meta": jsonable(e.meta),
+            }
+            lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> None:
+        """Stream the JSONL export to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())

@@ -200,3 +200,17 @@ class TestComparisonTable:
         t.add("metric", 1.0, 1.05)
         assert "demo" in t.render()
         assert "| metric |" in t.markdown()
+
+    def test_zero_paper_value_renders_sentinel_not_inf(self):
+        r = ExperimentRecord("x", "q", 0.0, 0.01, tolerance=0.05)
+        assert r.ratio_text == "n/a (abs)"
+        t = ComparisonTable("zeros")
+        t.add("q", 0.0, 0.01, tolerance=0.05)
+        assert "inf" not in t.render()
+        assert "n/a (abs)" in t.render()
+        assert "inf" not in t.markdown()
+        assert "n/a (abs)" in t.markdown()
+
+    def test_nonzero_paper_value_renders_numeric_ratio(self):
+        r = ExperimentRecord("x", "q", 10.0, 11.0)
+        assert r.ratio_text == "1.10"

@@ -28,3 +28,27 @@ class TestRunnerCLI:
             "table1", "figure5", "figure6", "figure7", "figure8",
             "table3", "figure4", "figure9",
         }
+
+    def test_logdir_writes_structured_jsonl(self, capsys, tmp_path):
+        import json
+
+        rc = main(["table1", "--logdir", str(tmp_path)])
+        assert rc == 0
+        path = tmp_path / "table1.jsonl"
+        assert path.exists()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        keys = [r["key"] for r in rows]
+        assert keys[0] == "start"
+        assert "record" in keys and "verdict" in keys
+        record = next(r for r in rows if r["key"] == "record")
+        assert {"quantity", "paper", "ratio", "passed"} <= set(record["meta"])
+        verdict = next(r for r in rows if r["key"] == "verdict")
+        assert verdict["value"] == "pass"
+        assert str(path) in capsys.readouterr().out
+
+    def test_run_experiment_returns_log(self):
+        from repro.experiments.runner import run_experiment
+
+        log = run_experiment("table1")
+        assert log.last("verdict") == "pass"
+        assert len(log.values("record")) > 0

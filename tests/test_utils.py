@@ -90,3 +90,34 @@ class TestRunLog:
         log = RunLog("t")
         log.record("pflops", 3.3)
         assert "pflops" in log.summary()
+
+    def test_simulated_time_and_seq(self):
+        log = RunLog("t")
+        log.record("a", 1)
+        log.record("b", 2, t=4.5)
+        events = list(log)
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].t == 0.0 and events[1].t == 4.5
+
+    def test_jsonl_export_canonical(self):
+        import json
+        import numpy as np
+
+        log = RunLog("exp")
+        log.record("sypd", np.float64(21.5), t=1.0, ne=30)
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 1
+        row = json.loads(lines[0])
+        assert row == {"key": "sypd", "log": "exp", "meta": {"ne": 30},
+                       "seq": 0, "t": 1.0, "value": 21.5}
+        # Canonical form: identical logs export identical bytes.
+        log2 = RunLog("exp")
+        log2.record("sypd", 21.5, t=1.0, ne=30)
+        assert log.to_jsonl() == log2.to_jsonl()
+
+    def test_write_jsonl(self, tmp_path):
+        log = RunLog("exp")
+        log.record("x", 1)
+        p = tmp_path / "log.jsonl"
+        log.write_jsonl(str(p))
+        assert p.read_text() == log.to_jsonl()
