@@ -21,7 +21,11 @@ The package builds every system the paper depends on:
   footprint analysis, LDM tiling, roofline projection);
 - :mod:`repro.perf`, :mod:`repro.baselines`, :mod:`repro.katrina`,
   :mod:`repro.experiments` — performance models, NGGPS baselines, the
-  Katrina experiment, and one driver per paper table/figure.
+  Katrina experiment, and one driver per paper table/figure;
+- :mod:`repro.bench` — the deterministic benchmark suite and
+  regression gate (batched vs looped dycore paths on the wall clock,
+  Table-1 kernels on the simulated clock, compared against the
+  committed ``BENCH_homme.json`` baseline).
 
 Quickstart::
 

@@ -22,6 +22,14 @@ and byte counts from the model configuration;
 :mod:`~repro.backends.scan` and :mod:`~repro.backends.transpose` are
 the functional implementations of the two Sunway-specific schemes
 (Sections 7.4 and 7.5).
+
+:mod:`~repro.backends.functional_exec` is the *functional* execution
+dispatch: :func:`~repro.backends.functional_exec.homme_execution`
+selects the element-batched or per-element-looped implementation of
+every dycore kernel (the repo-level analogue of the Athread-vs-OpenACC
+dispatch-granularity choice), and
+:func:`~repro.backends.functional_exec.cross_validate_paths` asserts
+the two agree to 1e-12 on the same inputs.
 """
 
 from .base import KernelWorkload, KernelReport, Backend

@@ -1,5 +1,18 @@
-"""Functional execution of a tracer-advection kernel on the simulated CPE
-cluster — Algorithms 1 and 2 of the paper, actually run.
+"""Functional execution disciplines: Algorithms 1/2 on the simulated CPE
+cluster, and the batched/looped dispatch for the HOMME hot path.
+
+Two related things live here:
+
+1. the CPE-cluster execution of a mini tracer kernel (below) — the
+   paper's Algorithms 1 and 2 run through the simulated hardware;
+2. the **execution-path dispatch** for the real HOMME kernels
+   (:func:`homme_execution`): selecting ``"batched"`` (whole element
+   stack per kernel call, memoized operator tensors) or ``"looped"``
+   (one dispatch per element — the pre-redesign discipline).  Both
+   paths are kept permanently and cross-validated
+   (:func:`cross_validate_paths`, asserted to 1e-12 in
+   ``tests/test_exec_paths.py``); ``repro.bench`` times them against
+   each other and commits the speedup to ``BENCH_homme.json``.
 
 This module executes a small flux-form tracer update
 
@@ -25,12 +38,108 @@ behind the paper's "total data transfer size has been decreased to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from ..errors import LDMOverflowError
+from ..errors import KernelError, LDMOverflowError
+from ..homme import looped as _looped
+from ..homme import operators as _op
+from ..homme import rhs as _rhs
+from ..homme import shallow_water as _sw
 from ..sunway.cpe import CPE
 from ..sunway.spec import SW26010Spec, DEFAULT_SPEC
+
+
+# ---------------------------------------------------------------------------
+# Execution-path dispatch for the HOMME kernels (batched vs looped)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HommeExecution:
+    """One execution path through the HOMME element-local kernels.
+
+    Bundles the path-specific forms of every dispatchable kernel; DSS
+    and the time integrators are shared, so two executions of the same
+    state differ only in kernel dispatch granularity (and agree to
+    roundoff — cross-validated in ``tests/test_exec_paths.py``).
+    """
+
+    name: str
+    #: primitive-equation tendencies: f(state, geom, phis) -> (dv, dT, ddp)
+    compute_rhs: Callable
+    #: shallow-water tendencies: f(h, v, geom) -> (dh, dv)
+    sw_rhs: Callable
+    #: weak scalar Laplacian: f(field, geom) -> field
+    laplace_wk: Callable
+    #: vector Laplacian: f(v, geom) -> v
+    vlaplace: Callable
+    #: tracer path name handed to ``euler_step(..., path=...)``
+    euler_path: str
+
+
+EXECUTION_PATHS: dict[str, HommeExecution] = {
+    "batched": HommeExecution(
+        name="batched",
+        compute_rhs=_rhs.compute_rhs,
+        sw_rhs=_sw.sw_compute_rhs,
+        laplace_wk=_op.laplace_sphere_wk,
+        vlaplace=_op.vlaplace_sphere,
+        euler_path="batched",
+    ),
+    "looped": HommeExecution(
+        name="looped",
+        compute_rhs=_looped.compute_rhs_looped,
+        sw_rhs=_looped.sw_compute_rhs_looped,
+        laplace_wk=_looped.laplace_sphere_wk_looped,
+        vlaplace=_looped.vlaplace_sphere_looped,
+        euler_path="looped",
+    ),
+}
+
+
+def homme_execution(name: str = "batched") -> HommeExecution:
+    """Look up an execution path by name (``"batched"`` or ``"looped"``)."""
+    try:
+        return EXECUTION_PATHS[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown execution path {name!r}; choose from {sorted(EXECUTION_PATHS)}"
+        ) from None
+
+
+def cross_validate_paths(
+    state, geom, phis=None, rtol: float = 1e-12
+) -> dict[str, float]:
+    """Run every dispatchable kernel through both paths; return max
+    relative disagreements (and raise if any exceeds ``rtol``).
+
+    The contract behind the batched path: batching is *only* a dispatch
+    change, so every kernel must agree with its looped twin to
+    roundoff on the same inputs.
+    """
+    b = EXECUTION_PATHS["batched"]
+    lo = EXECUTION_PATHS["looped"]
+
+    def rel(a, c):
+        scale = max(float(np.max(np.abs(a))), 1e-300)
+        return float(np.max(np.abs(a - c))) / scale
+
+    errs: dict[str, float] = {}
+    dv_b, dT_b, ddp_b = b.compute_rhs(state, geom, phis)
+    dv_l, dT_l, ddp_l = lo.compute_rhs(state, geom, phis)
+    errs["compute_rhs.dv"] = rel(dv_b, dv_l)
+    errs["compute_rhs.dT"] = rel(dT_b, dT_l)
+    errs["compute_rhs.ddp"] = rel(ddp_b, ddp_l)
+    errs["laplace_wk.T"] = rel(b.laplace_wk(state.T, geom), lo.laplace_wk(state.T, geom))
+    errs["vlaplace.v"] = rel(b.vlaplace(state.v, geom), lo.vlaplace(state.v, geom))
+    worst = max(errs.values())
+    if worst > rtol:
+        raise KernelError(
+            f"batched/looped cross-validation failed: max rel err {worst:.3e} "
+            f"> {rtol:.1e} ({errs})"
+        )
+    return errs
 
 
 @dataclass

@@ -36,10 +36,35 @@ def advect_qdp(
     return -op.divergence_sphere(flux, geom)
 
 
+def advect_qdp_all(
+    qdp: np.ndarray, v: np.ndarray, geom: ElementGeometry
+) -> np.ndarray:
+    """Flux-form tendency for **all tracers at once**; qdp (E, Q, L, n, n).
+
+    The velocity broadcasts across the tracer axis, so the whole
+    (E, Q, L) stack goes through the divergence in one operator call —
+    the batched analogue of Algorithm 2 keeping shared arrays resident
+    across the tracer loop instead of re-dispatching per tracer.
+    """
+    flux = v[:, None] * qdp[..., None]
+    return -op.divergence_sphere(flux, geom)
+
+
+def _dss_all(qdp: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """DSS an (E, Q, L, n, n) stack by folding (Q, L) into one axis."""
+    E, Q, L, n, _ = qdp.shape
+    return geom.dss(qdp.reshape(E, Q * L, n, n)).reshape(E, Q, L, n, n)
+
+
 def limit_qdp(
     qdp: np.ndarray, geom: ElementGeometry, global_fixer: bool = True
 ) -> np.ndarray:
     """Sign-preserving limiter: clip negatives, restore mass.
+
+    Accepts any stack of middle axes: (E, L, n, n) for one tracer or
+    (E, Q, L, n, n) for the batched all-tracer path — the element axis
+    is first and the GLL axes last, everything between is limited
+    independently.
 
     Stage 1 (elementwise, HOMME's limiter8 idea): clipped mass is
     removed proportionally from positive points of the same element and
@@ -50,7 +75,7 @@ def limit_qdp(
     Stage 2 (global fixer): a single multiplicative factor per level
     restores the exact global integral, keeping positivity.
     """
-    w = geom.spheremp[:, None]
+    w = geom.spheremp[(slice(None),) + (None,) * (qdp.ndim - 3)]
     mass_before = np.sum(qdp * w, axis=(-2, -1))
     clipped = np.maximum(qdp, 0.0)
     mass_after = np.sum(clipped * w, axis=(-2, -1))
@@ -60,11 +85,11 @@ def limit_qdp(
     scale = np.clip(scale, 0.0, None)
     out = clipped * scale[..., None, None]
     if global_fixer:
-        g_before = np.sum(mass_before, axis=0)            # per level
+        g_before = np.sum(mass_before, axis=0)            # per (tracer,) level
         g_after = np.sum(out * w, axis=(0, -2, -1))
         with np.errstate(divide="ignore", invalid="ignore"):
             g_scale = np.where(g_after > 0, g_before / g_after, 0.0)
-        out = out * np.clip(g_scale, 0.0, None)[None, :, None, None]
+        out = out * np.clip(g_scale, 0.0, None)[None, ..., None, None]
     return out
 
 
@@ -73,16 +98,37 @@ def euler_step(
     geom: ElementGeometry,
     dt: float,
     limiter: bool = True,
+    path: str = "batched",
 ) -> np.ndarray:
     """One SSP-RK2 advection step for all tracers; returns new qdp.
 
     SSP-RK2 (Heun):  s1 = q + dt L(q);  q_new = (q + s1 + dt L(s1)) / 2,
     with DSS after each stage so stage fields are continuous.
+
+    ``path="batched"`` advects and assembles every tracer in one shot
+    (velocity and metric terms touched once per stage);
+    ``path="looped"`` keeps the historical per-tracer loop — the
+    contention point between the paper's execution backends, retained
+    for cross-validation and as the ``repro.bench`` baseline.
     """
     if dt <= 0:
         raise KernelError(f"dt must be positive, got {dt}")
     v = state.v
     qdp = state.qdp
+    if path == "batched":
+        f0 = advect_qdp_all(qdp, v, geom)
+        s1 = _dss_all(qdp + dt * f0, geom)
+        f1 = advect_qdp_all(s1, v, geom)
+        s2 = _dss_all(0.5 * (qdp + s1 + dt * f1), geom)
+        if limiter:
+            # The elementwise rescale breaks edge continuity; a closing
+            # DSS restores it (a positive-weighted average of
+            # non-negative values stays non-negative), which keeps the
+            # *next* step's flux-form divergence exactly conservative.
+            return _dss_all(limit_qdp(s2, geom), geom)
+        return s2
+    if path != "looped":
+        raise KernelError(f"unknown euler path {path!r}")
     nq = qdp.shape[1]
     out = np.empty_like(qdp)
     # Per-tracer loop: the contention point between execution backends.
@@ -92,10 +138,6 @@ def euler_step(
         f1 = advect_qdp(s1, v, geom)
         s2 = geom.dss(0.5 * (qdp[:, q] + s1 + dt * f1))
         if limiter:
-            # The elementwise rescale breaks edge continuity; a closing
-            # DSS restores it (a positive-weighted average of
-            # non-negative values stays non-negative), which keeps the
-            # *next* step's flux-form divergence exactly conservative.
             out[:, q] = geom.dss(limit_qdp(s2, geom))
         else:
             out[:, q] = s2
@@ -108,6 +150,7 @@ def euler_step_subcycled(
     dt: float,
     subcycles: int = 3,
     limiter: bool = True,
+    path: str = "batched",
 ) -> np.ndarray:
     """Run ``subcycles`` euler_steps of dt/subcycles each; returns new qdp."""
     if subcycles < 1:
@@ -115,7 +158,7 @@ def euler_step_subcycled(
     work = state.copy()
     sub_dt = dt / subcycles
     for _ in range(subcycles):
-        work.qdp = euler_step(work, geom, sub_dt, limiter=limiter)
+        work.qdp = euler_step(work, geom, sub_dt, limiter=limiter, path=path)
     return work.qdp
 
 

@@ -39,15 +39,23 @@ def nu_for_ne(ne: int, nu0: float = NU0) -> float:
 
 
 def hypervis_dp1(
-    state: ElementState, geom: ElementGeometry
+    state: ElementState,
+    geom: ElementGeometry,
+    laplace_fn=None,
+    vlaplace_fn=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """First Laplacian sweep over momentum and temperature (with DSS).
 
     Returns (lap_v, lap_T), the continuous Laplacians that feed
-    :func:`hypervis_dp2`.
+    :func:`hypervis_dp2`.  ``laplace_fn``/``vlaplace_fn`` select the
+    element-local execution path (batched operators by default; the
+    looped twins from :mod:`repro.homme.looped` via the dispatch in
+    :func:`repro.backends.functional_exec.homme_execution`).
     """
-    lap_v = geom.dss_vector(op.vlaplace_sphere(state.v, geom))
-    lap_T = geom.dss(op.laplace_sphere_wk(state.T, geom))
+    lap = laplace_fn or op.laplace_sphere_wk
+    vlap = vlaplace_fn or op.vlaplace_sphere
+    lap_v = geom.dss_vector(vlap(state.v, geom))
+    lap_T = geom.dss(lap(state.T, geom))
     return lap_v, lap_T
 
 
@@ -58,12 +66,16 @@ def hypervis_dp2(
     geom: ElementGeometry,
     dt: float,
     nu: float,
+    laplace_fn=None,
+    vlaplace_fn=None,
 ) -> ElementState:
     """Second sweep + update: u -= dt nu lap(lap(u)) for v and T."""
     if dt <= 0 or nu < 0:
         raise KernelError(f"invalid dt={dt} or nu={nu}")
-    bih_v = geom.dss_vector(op.vlaplace_sphere(lap_v, geom))
-    bih_T = geom.dss(op.laplace_sphere_wk(lap_T, geom))
+    lap = laplace_fn or op.laplace_sphere_wk
+    vlap = vlaplace_fn or op.vlaplace_sphere
+    bih_v = geom.dss_vector(vlap(lap_v, geom))
+    bih_T = geom.dss(lap(lap_T, geom))
     out = state.copy()
     out.v = state.v - dt * nu * bih_v
     out.T = state.T - dt * nu * bih_T
@@ -71,7 +83,7 @@ def hypervis_dp2(
 
 
 def biharmonic_dp3d(
-    dp3d: np.ndarray, geom: ElementGeometry, dss=None
+    dp3d: np.ndarray, geom: ElementGeometry, dss=None, laplace_fn=None
 ) -> np.ndarray:
     """Weak biharmonic operator on layer thickness (Table 1's last kernel).
 
@@ -79,8 +91,9 @@ def biharmonic_dp3d(
     the global dp3d integral (total air mass) conserved to roundoff.
     """
     dss = dss or geom.dss
-    lap = dss(op.laplace_sphere_wk(dp3d, geom))
-    return dss(op.laplace_sphere_wk(lap, geom))
+    lap = laplace_fn or op.laplace_sphere_wk
+    lap1 = dss(lap(dp3d, geom))
+    return dss(lap(lap1, geom))
 
 
 def hypervis_stable_subcycles(dt: float, nu: float, ne: int, radius: float) -> int:
@@ -104,11 +117,15 @@ def advance_hypervis(
     nu: float | None = None,
     nu_p: float | None = None,
     subcycles: int | None = None,
+    laplace_fn=None,
+    vlaplace_fn=None,
 ) -> ElementState:
     """Apply hyperviscosity to v, T and dp3d over one dynamics step.
 
     ``nu_p`` (thickness diffusion) defaults to ``nu``; subcycling is
     chosen automatically from the stability analysis unless given.
+    ``laplace_fn``/``vlaplace_fn`` select the execution path for the
+    element-local Laplacians (batched by default).
     """
     nu = nu_for_ne(ne) if nu is None else nu
     nu_p = nu if nu_p is None else nu_p
@@ -116,8 +133,9 @@ def advance_hypervis(
     sub_dt = dt / n_sub
     out = state
     for _ in range(n_sub):
-        lap_v, lap_T = hypervis_dp1(out, geom)
-        out = hypervis_dp2(out, lap_v, lap_T, geom, sub_dt, nu)
-        bih_dp = biharmonic_dp3d(out.dp3d, geom)
+        lap_v, lap_T = hypervis_dp1(out, geom, laplace_fn, vlaplace_fn)
+        out = hypervis_dp2(out, lap_v, lap_T, geom, sub_dt, nu,
+                           laplace_fn, vlaplace_fn)
+        bih_dp = biharmonic_dp3d(out.dp3d, geom, laplace_fn=laplace_fn)
         out.dp3d = out.dp3d - sub_dt * nu_p * bih_dp
     return out

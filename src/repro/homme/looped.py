@@ -1,0 +1,96 @@
+"""The per-element **looped** execution path of the HOMME kernels.
+
+Before the paper's redesign, CAM-SE's port dispatched work to the
+accelerator one element (and one tracer) at a time — the OpenACC-style
+discipline of Algorithm 1 whose per-dispatch overheads and re-reads the
+Athread rewrite removes.  This module is that discipline's Python
+analogue: each kernel loops over the elements of the domain and invokes
+the *same* batched numerics of :mod:`repro.homme.operators` /
+:mod:`repro.homme.rhs` on single-element views, paying one Python-level
+dispatch per element instead of one per core-group.
+
+It exists for two reasons:
+
+- **cross-validation** — the batched path is only trusted because every
+  kernel here agrees with it to 1e-12 (``tests/test_exec_paths.py``);
+- **baseline** — ``repro.bench`` times looped vs batched and commits
+  the speedup to ``BENCH_homme.json``, reproducing the shape of the
+  paper's dispatch-granularity argument on the laptop substrate.
+
+Only element-local compute is looped; DSS is a global assembly and is
+applied by the caller exactly as in the batched path, so the two paths
+differ purely in kernel dispatch granularity.
+
+Selection between the two paths goes through
+:func:`repro.backends.functional_exec.homme_execution`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .element import ElementGeometry, ElementState
+from . import operators as op
+from . import rhs as rhs_mod
+
+
+def _state_view(state: ElementState, e: int) -> ElementState:
+    """A single-element view of the prognostic arrays (no copies)."""
+    sl = slice(e, e + 1)
+    return ElementState(
+        v=state.v[sl], T=state.T[sl], dp3d=state.dp3d[sl], qdp=state.qdp[sl]
+    )
+
+
+def compute_rhs_looped(
+    state: ElementState,
+    geom: ElementGeometry,
+    phis: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-element dispatch of :func:`repro.homme.rhs.compute_rhs`.
+
+    Same signature and (to roundoff) same result as the batched form;
+    one Python-level kernel launch per element.
+    """
+    dv = np.empty_like(state.v)
+    dT = np.empty_like(state.T)
+    ddp = np.empty_like(state.dp3d)
+    for e, view in enumerate(geom.element_views()):
+        phis_e = None if phis is None else phis[e : e + 1]
+        dv_e, dT_e, ddp_e = rhs_mod.compute_rhs(_state_view(state, e), view, phis_e)
+        dv[e] = dv_e[0]
+        dT[e] = dT_e[0]
+        ddp[e] = ddp_e[0]
+    return dv, dT, ddp
+
+
+def sw_compute_rhs_looped(
+    h: np.ndarray, v: np.ndarray, geom: ElementGeometry
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element shallow-water RHS (see
+    :func:`repro.homme.shallow_water.sw_compute_rhs`)."""
+    from .shallow_water import sw_compute_rhs  # local: avoid import cycle
+
+    dh = np.empty_like(h)
+    dv = np.empty_like(v)
+    for e, view in enumerate(geom.element_views()):
+        dh_e, dv_e = sw_compute_rhs(h[e : e + 1], v[e : e + 1], view)
+        dh[e] = dh_e[0]
+        dv[e] = dv_e[0]
+    return dh, dv
+
+
+def laplace_sphere_wk_looped(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Per-element weak Laplacian (hyperviscosity building block)."""
+    out = np.empty_like(s)
+    for e, view in enumerate(geom.element_views()):
+        out[e] = op.laplace_sphere_wk(s[e : e + 1], view)[0]
+    return out
+
+
+def vlaplace_sphere_looped(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+    """Per-element vector Laplacian (hyperviscosity building block)."""
+    out = np.empty_like(v)
+    for e, view in enumerate(geom.element_views()):
+        out[e] = op.vlaplace_sphere(v[e : e + 1], view)[0]
+    return out

@@ -1,10 +1,22 @@
 """Spectral-element differential operators on the cubed sphere.
 
-All operators act elementwise on fields shaped ``(E, ..., np, np)``
-(arbitrary middle axes, typically the level axis) using the GLL
-derivative matrix along the two horizontal axes.  Geometry arrays
-(``metdet``, ``metinv``) are shaped ``(E, np, np, ...)`` and broadcast
-across the middle axes automatically.
+All operators act elementwise on **stacked** fields shaped
+``(E, ..., np, np)`` (arbitrary middle axes — typically levels, or
+tracers x levels) using the GLL derivative matrix along the two
+horizontal axes, so one call covers the whole element batch: this is
+the batched execution path the paper's Athread redesign motivates
+(dispatch the core-group once per kernel, not once per element).  The
+per-element *looped* path that dispatches these same kernels one
+element at a time lives in :mod:`repro.homme.looped`; the two are
+cross-validated in ``tests/test_exec_paths.py``.
+
+Every operator pulls its geometric factors from the memoized
+:class:`~repro.homme.tensors.OperatorTensors` bundle on the geometry
+(``geom.tensors``) instead of rebuilding them per call — derivative
+matrices pre-transposed for ``matmul``, reciprocals of the Jacobian /
+metric determinant / spheremp precomputed, metric components unpacked
+to contiguous planes.  Kernels that issue many operator calls fetch the
+bundle once and pass it through the ``tensors=`` keyword.
 
 Conventions: face coordinate alpha varies along the **last** axis (j),
 beta along the second-to-last (i).  Winds are contravariant; covariant
@@ -19,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from .element import ElementGeometry
+from .tensors import OperatorTensors
 
 
 def _bshape(geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
@@ -35,87 +48,150 @@ def _bshape(geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
     return geom_arr.reshape(shape)
 
 
-def d_dalpha(field: np.ndarray, geom: ElementGeometry) -> np.ndarray:
-    """d(field)/d(alpha): GLL derivative along the last axis."""
-    return np.einsum("jm,...im->...ij", geom.D, field) / geom.jac
+def _t(geom: ElementGeometry, tensors: OperatorTensors | None) -> OperatorTensors:
+    return tensors if tensors is not None else geom.tensors
 
 
-def d_dbeta(field: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def d_dalpha(
+    field: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
+    """d(field)/d(alpha): GLL derivative along the last axis.
+
+    ``out[..., i, j] = sum_m D[j, m] field[..., i, m] / J`` — a stacked
+    matmul against the pre-transposed derivative matrix.
+    """
+    t = _t(geom, tensors)
+    return np.matmul(field, t.Dt) * t.inv_jac
+
+
+def d_dbeta(
+    field: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """d(field)/d(beta): GLL derivative along the second-to-last axis."""
-    return np.einsum("im,...mj->...ij", geom.D, field) / geom.jac
+    t = _t(geom, tensors)
+    return np.matmul(t.D, field) * t.inv_jac
 
 
-def gradient_sphere(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def gradient_sphere(
+    s: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Contravariant gradient of a scalar; output (..., np, np, 2).
 
     cov_k = d s / d x^k; grad^i = metinv^{ik} cov_k.
     """
-    cov = np.stack([d_dalpha(s, geom), d_dbeta(s, geom)], axis=-1)
-    metinv = _bshape(geom.metinv, s)
-    return np.einsum("...ik,...k->...i", metinv, cov)
+    t = _t(geom, tensors)
+    da = d_dalpha(s, geom, t)
+    db = d_dbeta(s, geom, t)
+    mi00 = t.bshape(t.metinv00, s)
+    mi01 = t.bshape(t.metinv01, s)
+    mi11 = t.bshape(t.metinv11, s)
+    out = np.empty(s.shape + (2,))
+    out[..., 0] = mi00 * da + mi01 * db
+    out[..., 1] = mi01 * da + mi11 * db
+    return out
 
 
-def gradient_cov(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def gradient_cov(
+    s: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Covariant gradient (d s/d alpha, d s/d beta); output (..., np, np, 2)."""
-    return np.stack([d_dalpha(s, geom), d_dbeta(s, geom)], axis=-1)
+    t = _t(geom, tensors)
+    return np.stack([d_dalpha(s, geom, t), d_dbeta(s, geom, t)], axis=-1)
 
 
-def divergence_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def divergence_sphere(
+    v: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Divergence of a contravariant vector field (..., np, np, 2).
 
     div = (1/sqrt(g)) [ d(sqrt(g) v^1)/d alpha + d(sqrt(g) v^2)/d beta ].
     """
-    metdet = _bshape(geom.metdet, v[..., 0])
+    t = _t(geom, tensors)
+    metdet = t.bshape(t.metdet, v[..., 0])
+    inv_metdet = t.bshape(t.inv_metdet, v[..., 0])
     f1 = metdet * v[..., 0]
     f2 = metdet * v[..., 1]
-    return (d_dalpha(f1, geom) + d_dbeta(f2, geom)) / metdet
+    return (d_dalpha(f1, geom, t) + d_dbeta(f2, geom, t)) * inv_metdet
 
 
-def vorticity_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def _vcov(v: np.ndarray, t: OperatorTensors) -> tuple[np.ndarray, np.ndarray]:
+    """Covariant components v_i = g_ij v^j of a contravariant field."""
+    m00 = t.bshape(t.met00, v[..., 0])
+    m01 = t.bshape(t.met01, v[..., 0])
+    m11 = t.bshape(t.met11, v[..., 0])
+    vcov1 = m00 * v[..., 0] + m01 * v[..., 1]
+    vcov2 = m01 * v[..., 0] + m11 * v[..., 1]
+    return vcov1, vcov2
+
+
+def vorticity_sphere(
+    v: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Relative vorticity (vertical component) of a contravariant field.
 
     zeta = (1/sqrt(g)) [ d v_2/d alpha - d v_1/d beta ] with covariant
     v_i = g_ij v^j.
     """
-    met = _bshape(geom.met, v[..., 0])
-    vcov1 = met[..., 0, 0] * v[..., 0] + met[..., 0, 1] * v[..., 1]
-    vcov2 = met[..., 1, 0] * v[..., 0] + met[..., 1, 1] * v[..., 1]
-    metdet = _bshape(geom.metdet, v[..., 0])
-    return (d_dalpha(vcov2, geom) - d_dbeta(vcov1, geom)) / metdet
+    t = _t(geom, tensors)
+    vcov1, vcov2 = _vcov(v, t)
+    inv_metdet = t.bshape(t.inv_metdet, v[..., 0])
+    return (d_dalpha(vcov2, geom, t) - d_dbeta(vcov1, geom, t)) * inv_metdet
 
 
-def kinetic_energy(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def kinetic_energy(
+    v: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """E = 0.5 |v|^2 = 0.5 g_ij v^i v^j for contravariant winds."""
-    met = _bshape(geom.met, v[..., 0])
-    return 0.5 * np.einsum("...kl,...k,...l->...", met, v, v)
+    t = _t(geom, tensors)
+    m00 = t.bshape(t.met00, v[..., 0])
+    m01 = t.bshape(t.met01, v[..., 0])
+    m11 = t.bshape(t.met11, v[..., 0])
+    v1, v2 = v[..., 0], v[..., 1]
+    return 0.5 * (m00 * v1 * v1 + 2.0 * (m01 * v1 * v2) + m11 * v2 * v2)
 
 
-def k_cross(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def k_cross(
+    v: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """(k-hat x v) in contravariant components.
 
     On a 2-manifold: (k x v)^i = eps^{ij} v_j with eps^{12} = 1/sqrt(g),
     i.e. (k x v)^1 = -v_2/sqrt(g), (k x v)^2 = v_1/sqrt(g).
     """
-    met = _bshape(geom.met, v[..., 0])
-    metdet = _bshape(geom.metdet, v[..., 0])
-    vcov1 = met[..., 0, 0] * v[..., 0] + met[..., 0, 1] * v[..., 1]
-    vcov2 = met[..., 1, 0] * v[..., 0] + met[..., 1, 1] * v[..., 1]
+    t = _t(geom, tensors)
+    vcov1, vcov2 = _vcov(v, t)
+    inv_metdet = t.bshape(t.inv_metdet, v[..., 0])
     out = np.empty_like(v)
-    out[..., 0] = -vcov2 / metdet
-    out[..., 1] = vcov1 / metdet
+    out[..., 0] = -vcov2 * inv_metdet
+    out[..., 1] = vcov1 * inv_metdet
     return out
 
 
-def laplace_sphere(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def laplace_sphere(
+    s: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Element-local Laplace--Beltrami operator div(grad s).
 
     Discontinuous across element edges; hyperviscosity applies DSS
     between the two Laplacian passes (see :mod:`repro.homme.hypervis`).
     """
-    return divergence_sphere(gradient_sphere(s, geom), geom)
+    t = _t(geom, tensors)
+    return divergence_sphere(gradient_sphere(s, geom, t), geom, t)
 
 
-def laplace_sphere_wk(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def laplace_sphere_wk(
+    s: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Weak-form Laplacian (HOMME's ``laplace_sphere_wk``), exactly
     conservative under DSS.
 
@@ -128,29 +204,29 @@ def laplace_sphere_wk(s: np.ndarray, geom: ElementGeometry) -> np.ndarray:
     (the strong form div(grad s) leaks O(1e-7) mass per step through
     discontinuous edge fluxes).
     """
-    grad = gradient_sphere(s, geom)  # contravariant g^{kl} d_l s
-    metdet = _bshape(geom.metdet, s)
-    w = geom.mesh.gll_w
-    wpwq = w[:, None] * w[None, :]
-    fac = metdet * wpwq * geom.jac**2
+    t = _t(geom, tensors)
+    grad = gradient_sphere(s, geom, t)  # contravariant g^{kl} d_l s
+    fac = t.bshape(t.wk_fac, s)  # metdet * (w_p w_q) * J^2
     G1 = fac * grad[..., 0]
     G2 = fac * grad[..., 1]
-    W = -(
-        np.einsum("qj,...iq->...ij", geom.D, G1)
-        + np.einsum("pi,...pj->...ij", geom.D, G2)
-    ) / geom.jac
-    spheremp = _bshape(geom.spheremp, s)
-    return W / spheremp
+    # sum_q G1[..., i, q] D[q, j]  and  sum_p D[p, i] G2[..., p, j]
+    W = -(np.matmul(G1, t.D) + np.matmul(t.Dt, G2)) * t.inv_jac
+    inv_spheremp = t.bshape(t.inv_spheremp, s)
+    return W * inv_spheremp
 
 
-def vlaplace_sphere(v: np.ndarray, geom: ElementGeometry) -> np.ndarray:
+def vlaplace_sphere(
+    v: np.ndarray, geom: ElementGeometry,
+    tensors: OperatorTensors | None = None,
+) -> np.ndarray:
     """Vector Laplacian in the HOMME form: grad(div v) - curl(curl v).
 
     Computed componentwise through scalar identities:
     lap(v) = grad(div v) - k x grad(zeta).
     """
-    div = divergence_sphere(v, geom)
-    zeta = vorticity_sphere(v, geom)
-    g_div = gradient_sphere(div, geom)
-    g_zeta = gradient_sphere(zeta, geom)
-    return g_div - k_cross(g_zeta, geom)
+    t = _t(geom, tensors)
+    div = divergence_sphere(v, geom, t)
+    zeta = vorticity_sphere(v, geom, t)
+    g_div = gradient_sphere(div, geom, t)
+    g_zeta = gradient_sphere(zeta, geom, t)
+    return g_div - k_cross(g_zeta, geom, t)

@@ -74,16 +74,17 @@ def compute_omega_p(
     p_mid: np.ndarray,
     dp3d: np.ndarray,
     geom: ElementGeometry,
+    tensors=None,
 ) -> np.ndarray:
     """omega/p = (Dp/Dt)/p at midlevels (for the adiabatic heating term).
 
     omega_k = v_k . grad(p_k) - [ sum_{l<k} div(v dp)_l + 0.5 div(v dp)_k ].
     """
-    grad_p = op.gradient_cov(p_mid, geom)
+    grad_p = op.gradient_cov(p_mid, geom, tensors)
     # v . grad p uses contravariant v against covariant gradient.
     vgradp = v[..., 0] * grad_p[..., 0] + v[..., 1] * grad_p[..., 1]
     vdp = v * dp3d[..., None]
-    divdp = op.divergence_sphere(vdp, geom)
+    divdp = op.divergence_sphere(vdp, geom, tensors)
     above = np.cumsum(divdp, axis=1) - divdp
     omega = vgradp - (above + 0.5 * divdp)
     return omega / p_mid
@@ -98,18 +99,23 @@ def compute_rhs(
 
     Split out from :func:`compute_and_apply_rhs` so RK drivers and the
     execution backends can account the compute phase separately from the
-    boundary exchange.
+    boundary exchange.  This is the **batched** form — every operator
+    acts on the full (E, L, np, np) stack in one shot, with the
+    geometric factors fetched once from the memoized tensor cache.  The
+    per-element looped twin is
+    :func:`repro.homme.looped.compute_rhs_looped`.
     """
     state.check_consistent()
     v, T, dp3d = state.v, state.T, state.dp3d
+    t = geom.tensors  # one fingerprint check per RHS evaluation
 
     p_mid, _ = compute_pressure(dp3d)
     phi = compute_geopotential(T, p_mid, dp3d, phis)
-    E = op.kinetic_energy(v, geom)
-    zeta = op.vorticity_sphere(v, geom)
-    grad_Ephi = op.gradient_sphere(E + phi, geom)
-    grad_p = op.gradient_sphere(p_mid, geom)
-    kxv = op.k_cross(v, geom)
+    E = op.kinetic_energy(v, geom, t)
+    zeta = op.vorticity_sphere(v, geom, t)
+    grad_Ephi = op.gradient_sphere(E + phi, geom, t)
+    grad_p = op.gradient_sphere(p_mid, geom, t)
+    kxv = op.k_cross(v, geom, t)
 
     fcor = geom.fcor[:, None]
     abs_vort = (zeta + fcor)[..., None]
@@ -117,14 +123,14 @@ def compute_rhs(
     dv = -abs_vort * kxv - grad_Ephi - rt_over_p * grad_p
 
     # Temperature: horizontal advection + adiabatic heating.
-    grad_T_cov = op.gradient_cov(T, geom)
+    grad_T_cov = op.gradient_cov(T, geom, t)
     v_dot_gradT = v[..., 0] * grad_T_cov[..., 0] + v[..., 1] * grad_T_cov[..., 1]
-    omega_p = compute_omega_p(v, p_mid, dp3d, geom)
+    omega_p = compute_omega_p(v, p_mid, dp3d, geom, t)
     dT = -v_dot_gradT + C.KAPPA * T * omega_p
 
     # Layer continuity.
     vdp = v * dp3d[..., None]
-    ddp = -op.divergence_sphere(vdp, geom)
+    ddp = -op.divergence_sphere(vdp, geom, t)
 
     return dv, dT, ddp
 
@@ -135,6 +141,7 @@ def compute_and_apply_rhs(
     geom: ElementGeometry,
     dt: float,
     phis: np.ndarray | None = None,
+    rhs_fn=None,
 ) -> ElementState:
     """One RK stage: new = base + dt * RHS(state), then DSS.
 
@@ -142,10 +149,15 @@ def compute_and_apply_rhs(
     increment is added to (they coincide in the first stage).  The
     updated fields are projected onto the continuous basis with DSS —
     in the distributed dycore this is where ``bndry_exchangev`` runs.
+
+    ``rhs_fn`` selects the execution path for the element-local compute
+    (defaults to the batched :func:`compute_rhs`; the looped path
+    passes :func:`repro.homme.looped.compute_rhs_looped`).  The DSS is
+    global either way, so paths differ only in dispatch granularity.
     """
     if dt <= 0:
         raise KernelError(f"dt must be positive, got {dt}")
-    dv, dT, ddp = compute_rhs(state, geom, phis)
+    dv, dT, ddp = (rhs_fn or compute_rhs)(state, geom, phis)
     out = ElementState(
         v=geom.dss_vector(base.v + dt * dv),
         T=geom.dss(base.T + dt * dT),

@@ -84,8 +84,36 @@ def rossby_haurwitz_initial(mesh: CubedSphereMesh) -> SWState:
     return SWState(h=gh / C.GRAVITY, v=vc)
 
 
+def sw_compute_rhs(
+    h: np.ndarray, v: np.ndarray, geom: ElementGeometry
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element-local shallow-water tendencies (dh/dt, dv/dt), no DSS.
+
+    The **batched** form: one call covers the whole element stack, with
+    geometric factors from the memoized tensor cache.  The per-element
+    twin is :func:`repro.homme.looped.sw_compute_rhs_looped`; both are
+    timed against each other by ``repro.bench`` (the ne8 RK-step
+    speedup committed in ``BENCH_homme.json``).
+    """
+    t = geom.tensors
+    zeta = op.vorticity_sphere(v, geom, t)
+    E = op.kinetic_energy(v, geom, t) + C.GRAVITY * h
+    grad_E = op.gradient_sphere(E, geom, t)
+    kxv = op.k_cross(v, geom, t)
+    abs_vort = (zeta + geom.fcor)[..., None]
+    dv = -abs_vort * kxv - grad_E
+    dh = -op.divergence_sphere(v * h[..., None], geom, t)
+    return dh, dv
+
+
 class ShallowWaterModel:
-    """SE shallow-water solver (RK3, optional hyperviscosity)."""
+    """SE shallow-water solver (RK3, optional hyperviscosity).
+
+    ``exec_path`` selects how the element-local RHS is dispatched:
+    ``"batched"`` (default, whole element stack per call) or
+    ``"looped"`` (one call per element) — see
+    :func:`repro.backends.functional_exec.homme_execution`.
+    """
 
     def __init__(
         self,
@@ -93,6 +121,7 @@ class ShallowWaterModel:
         state: SWState | None = None,
         dt: float | None = None,
         nu: float = 0.0,
+        exec_path: str = "batched",
     ) -> None:
         self.mesh = mesh
         self.geom = ElementGeometry(mesh)
@@ -105,17 +134,18 @@ class ShallowWaterModel:
         self.dt = dt
         self.nu = nu
         self.t = 0.0
+        self.exec_path = exec_path
+        if exec_path == "batched":
+            self._rhs_fn = sw_compute_rhs
+        elif exec_path == "looped":
+            from .looped import sw_compute_rhs_looped
+
+            self._rhs_fn = sw_compute_rhs_looped
+        else:
+            raise ValueError(f"unknown exec_path {exec_path!r}")
 
     def _rhs(self, s: SWState) -> tuple[np.ndarray, np.ndarray]:
-        geom = self.geom
-        zeta = op.vorticity_sphere(s.v, geom)
-        E = op.kinetic_energy(s.v, geom) + C.GRAVITY * s.h
-        grad_E = op.gradient_sphere(E, geom)
-        kxv = op.k_cross(s.v, geom)
-        abs_vort = (zeta + geom.fcor)[..., None]
-        dv = -abs_vort * kxv - grad_E
-        dh = -op.divergence_sphere(s.v * s.h[..., None], geom)
-        return dh, dv
+        return self._rhs_fn(s.h, s.v, self.geom)
 
     def _stage(self, base: SWState, point: SWState, dt: float) -> SWState:
         dh, dv = self._rhs(point)

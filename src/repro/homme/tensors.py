@@ -1,0 +1,133 @@
+"""Cached operator tensors for the batched spectral-element hot path.
+
+The differential operators of :mod:`repro.homme.operators` need, on
+every call, a family of small derived arrays: the transposed GLL
+derivative matrix, reciprocals of the Jacobian and metric determinant,
+the unpacked components of the metric tensor and its inverse, and the
+weak-form quadrature factor ``metdet * w_p w_q * J^2``.  Rebuilding
+them per call is pure overhead — they depend only on the mesh geometry,
+which is fixed for the life of a run.  This module memoizes them as an
+:class:`OperatorTensors` bundle on the element container
+(:class:`~repro.homme.element.ElementGeometry.tensors`), the
+Python-level analogue of the paper's Athread redesign keeping shared
+metric tiles LDM-resident across the tracer loop (Section 7.3,
+Algorithm 2) instead of re-reading them every iteration.
+
+Cache invalidation rule (DESIGN.md §9): the bundle carries a CRC-32
+fingerprint of the geometry arrays it was derived from
+(``metdet``, ``met``, ``metinv``, ``spheremp``, ``D``).  Every access
+through ``ElementGeometry.tensors`` re-hashes those sources and
+rebuilds the bundle when the fingerprint differs, so in-place mutation
+of the metric terms can never serve stale tensors; an explicit
+:meth:`~repro.homme.element.ElementGeometry.invalidate_tensors` is
+available when the caller already knows it mutated the geometry.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OperatorTensors", "geometry_fingerprint", "build_tensors"]
+
+
+def geometry_fingerprint(geom) -> int:
+    """CRC-32 over the geometry arrays the operator tensors derive from.
+
+    Exact (full-bytes) rather than sampled: the metric arrays are small
+    (a few hundred KB at ne8) and hashing them costs microseconds next
+    to one RK stage, so there is no window where a mutation can go
+    unnoticed.
+    """
+    crc = 0
+    for arr in (geom.metdet, geom.met, geom.metinv, geom.spheremp, geom.D):
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
+
+
+@dataclass(frozen=True)
+class OperatorTensors:
+    """Memoized per-mesh operator tensors (all read-only by convention).
+
+    Components are unpacked from their (..., 2, 2) packing so the
+    operators run on contiguous (E, np, np) planes with plain
+    multiplies — no trailing-axis stride games, no divisions in the
+    hot loop.
+    """
+
+    #: fingerprint of the source geometry arrays at build time
+    token: int
+    #: GLL derivative matrix (np, np) and its transpose (C-contiguous)
+    D: np.ndarray
+    Dt: np.ndarray
+    #: reference-element Jacobian (scalar) and its reciprocal
+    jac: float
+    inv_jac: float
+    #: metric determinant sqrt(g) and reciprocal, (E, np, np)
+    metdet: np.ndarray
+    inv_metdet: np.ndarray
+    #: covariant metric components g_ij (symmetric), (E, np, np)
+    met00: np.ndarray
+    met01: np.ndarray
+    met11: np.ndarray
+    #: contravariant metric components g^ij (symmetric), (E, np, np)
+    metinv00: np.ndarray
+    metinv01: np.ndarray
+    metinv11: np.ndarray
+    #: spheremp and reciprocal, (E, np, np)
+    spheremp: np.ndarray
+    inv_spheremp: np.ndarray
+    #: weak-form quadrature factor metdet * (w_p w_q) * J^2, (E, np, np)
+    wk_fac: np.ndarray
+    #: broadcast-view cache keyed by (array id, extra middle axes)
+    _bcache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def bshape(self, geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
+        """Broadcast a (E, np, np) tensor against a field (E, ..., np, np).
+
+        Returns a reshaped *view* with singleton middle axes inserted
+        after E; views are memoized so repeated calls in a kernel cost
+        one dict lookup.
+        """
+        extra = scalar_ref.ndim - 3
+        if extra <= 0:
+            return geom_arr
+        key = (id(geom_arr), extra)
+        view = self._bcache.get(key)
+        if view is None:
+            shape = (geom_arr.shape[0],) + (1,) * extra + geom_arr.shape[1:]
+            view = geom_arr.reshape(shape)
+            self._bcache[key] = view
+        return view
+
+
+def build_tensors(geom) -> OperatorTensors:
+    """Derive the full tensor bundle from an element geometry."""
+    D = np.ascontiguousarray(geom.D)
+    met = geom.met
+    metinv = geom.metinv
+    metdet = geom.metdet
+    spheremp = geom.spheremp
+    jac = float(geom.jac)
+    w = geom.mesh.gll_w
+    wpwq = w[:, None] * w[None, :]
+    return OperatorTensors(
+        token=geometry_fingerprint(geom),
+        D=D,
+        Dt=np.ascontiguousarray(D.T),
+        jac=jac,
+        inv_jac=1.0 / jac,
+        metdet=metdet,
+        inv_metdet=1.0 / metdet,
+        met00=np.ascontiguousarray(met[..., 0, 0]),
+        met01=np.ascontiguousarray(met[..., 0, 1]),
+        met11=np.ascontiguousarray(met[..., 1, 1]),
+        metinv00=np.ascontiguousarray(metinv[..., 0, 0]),
+        metinv01=np.ascontiguousarray(metinv[..., 0, 1]),
+        metinv11=np.ascontiguousarray(metinv[..., 1, 1]),
+        spheremp=spheremp,
+        inv_spheremp=1.0 / spheremp,
+        wk_fac=metdet * wpwq[None, :, :] * jac**2,
+    )

@@ -64,6 +64,12 @@ class PrimitiveEquationModel:
         time* axis: each step spans ``[t, t + dt]`` on the "serial"
         track, with schematic sub-spans for the RK stages, tracer
         advection, hyperviscosity, and remap phases.
+    exec_path:
+        Element-local kernel dispatch: ``"batched"`` (default — whole
+        element stack per kernel call, memoized operator tensors) or
+        ``"looped"`` (one dispatch per element, the pre-redesign
+        discipline kept for cross-validation and benchmarking).  See
+        :func:`repro.backends.functional_exec.homme_execution`.
     """
 
     def __init__(
@@ -77,6 +83,7 @@ class PrimitiveEquationModel:
         nu: float | None = None,
         phis: np.ndarray | None = None,
         tracer=None,
+        exec_path: str = "batched",
     ) -> None:
         self.cfg = cfg
         self.mesh = mesh if mesh is not None else CubedSphereMesh(cfg.ne, cfg.np)
@@ -105,6 +112,10 @@ class PrimitiveEquationModel:
         self.step_count = 0
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.log = RunLog("prim_run")
+        # Imported lazily: backends.functional_exec imports repro.homme.
+        from ..backends.functional_exec import homme_execution
+
+        self.exec = homme_execution(exec_path)
 
     # -- one dynamics step ------------------------------------------------------
 
@@ -113,19 +124,24 @@ class PrimitiveEquationModel:
         s0 = self.state
         dt = self.dt
         geom = self.geom
+        ex = self.exec
         # 3-stage 2nd-order RK (HOMME's RK + leapfrog combination):
         # u1 = u0 + dt/3 f(u0); u2 = u0 + dt/2 f(u1); u = u0 + dt f(u2).
-        s1 = compute_and_apply_rhs(s0, s0, geom, dt / 3.0, self.phis)
-        s2 = compute_and_apply_rhs(s1, s0, geom, dt / 2.0, self.phis)
-        s3 = compute_and_apply_rhs(s2, s0, geom, dt, self.phis)
+        s1 = compute_and_apply_rhs(s0, s0, geom, dt / 3.0, self.phis, ex.compute_rhs)
+        s2 = compute_and_apply_rhs(s1, s0, geom, dt / 2.0, self.phis, ex.compute_rhs)
+        s3 = compute_and_apply_rhs(s2, s0, geom, dt, self.phis, ex.compute_rhs)
 
         # Tracer advection on the updated winds (3 subcycles).
         s3.qdp = euler_step_subcycled(
-            s3, geom, dt, subcycles=self.cfg.tracer_subcycles
+            s3, geom, dt, subcycles=self.cfg.tracer_subcycles,
+            path=ex.euler_path,
         )
 
         if self.hypervis:
-            s3 = advance_hypervis(s3, geom, dt, self.cfg.ne, nu=self.nu)
+            s3 = advance_hypervis(
+                s3, geom, dt, self.cfg.ne, nu=self.nu,
+                laplace_fn=ex.laplace_wk, vlaplace_fn=ex.vlaplace,
+            )
 
         self.step_count += 1
         remapped = self.step_count % RSPLIT == 0

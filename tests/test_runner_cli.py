@@ -5,6 +5,16 @@ from repro.experiments.runner import DRIVERS, main
 
 
 class TestRunnerCLI:
+    def test_help_smoke(self, capsys):
+        # argparse exits 0 on --help; the documented flags must appear.
+        import pytest
+
+        with pytest.raises(SystemExit) as e:
+            main(["--help"])
+        assert e.value.code == 0
+        out = capsys.readouterr().out
+        assert "--logdir" in out and "--quick" in out and "--all" in out
+
     def test_single_cheap_driver(self, capsys):
         rc = main(["table1"])
         out = capsys.readouterr().out
