@@ -113,6 +113,10 @@ def compare_reports(
         else:
             bound = f", floor {floor:.1f}x" if floor is not None else ""
             lines.append(f"ok   {name}: {val:.2f}x{bound}{note}")
+    for name in sorted(set(baseline.get("derived", {})) - set(current.get("derived", {}))):
+        lines.append(f"gone {name}: derived entry not measured (not gated)")
+    for name, reason in sorted(current.get("skipped", {}).items()):
+        lines.append(f"skip {name}: {reason}")
 
     lines.append("gate: " + ("PASS" if ok else "REGRESSION DETECTED"))
     return ok, lines

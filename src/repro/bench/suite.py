@@ -34,7 +34,13 @@ from .harness import SCHEMA, BenchResult, machine_calibration, time_wall
 SPEEDUP_FLOORS = {
     "sw_rk_step.ne8.speedup": 3.0,
     "prim_rhs.ne4.speedup": 2.0,
+    "dist_sw_step.ne8.parallel_speedup": 1.3,
 }
+
+#: Worker count for the parallel-vs-serial distributed section; the
+#: section is skipped (with a logged reason in ``report["skipped"]``)
+#: on machines with fewer usable cores.
+PARALLEL_BENCH_WORKERS = 4
 
 
 def _prim_state(ne: int = 4, nlev: int = 8, qsize: int = 4, seed: int = 7):
@@ -106,6 +112,43 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
                   "gated": path == "batched"},
         ))
 
+    # -- wall clock: ne8 distributed SW step, serial vs real cores ---------
+    # The first section measuring the reproduction on real hardware
+    # parallelism: the same distributed step, once with the per-rank
+    # compute in-process and once fanned across a worker pool.  The
+    # trajectory is bitwise identical either way (tested); only the
+    # wall clock may differ.
+    from ..homme.distributed import DistributedShallowWater
+    from ..parallel import available_cores
+
+    skipped: dict[str, str] = {}
+    cores = available_cores()
+    if cores < PARALLEL_BENCH_WORKERS:
+        skipped["dist_sw_step.ne8"] = (
+            f"needs {PARALLEL_BENCH_WORKERS} cores for the parallel-vs-serial "
+            f"section, machine has {cores}"
+        )
+    else:
+        dist_repeats = min(repeats, 5)  # a distributed step is ~100x a kernel
+        for variant, nworkers in (("serial", 0), ("parallel", PARALLEL_BENCH_WORKERS)):
+            model = DistributedShallowWater(
+                mesh8, nranks=PARALLEL_BENCH_WORKERS, workers=nworkers
+            )
+            snap = model.snapshot()
+            secs = time_wall(
+                model.step, repeats=dist_repeats,
+                setup=lambda m=model, s=snap: m.restore_snapshot(s),
+            )
+            results.append(BenchResult(
+                name=f"dist_sw_step.ne8.{variant}", clock="wall", seconds=secs,
+                repeats=dist_repeats,
+                meta={"ne": 8, "nranks": PARALLEL_BENCH_WORKERS,
+                      "workers": nworkers, "kernel": "distributed SW step",
+                      "pool_active": bool(model.engine.active),
+                      "gated": False},
+            ))
+            model.close()
+
     # -- simulated clock: Table-1 kernels through the backend models -------
     workloads = table1_workloads()
     backends = {name: cls() for name, cls in ALL_BACKENDS.items()}
@@ -118,12 +161,29 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             ))
 
     # -- derived speedups --------------------------------------------------
+    # Tolerant of missing members: a skipped or not-yet-measured section
+    # simply contributes no derived entry (the comparison gate treats
+    # absent entries as informational, never as failures).
     by_name = {r.name: r for r in results}
     derived: dict[str, float] = {}
-    for group in ("sw_rk_step.ne8", "prim_rhs.ne4", "euler_step.ne4"):
-        looped = by_name[f"{group}.looped"].seconds
-        batched = by_name[f"{group}.batched"].seconds
-        derived[f"{group}.speedup"] = looped / batched
+    for group, num, den in (
+        ("sw_rk_step.ne8", "looped", "batched"),
+        ("prim_rhs.ne4", "looped", "batched"),
+        ("euler_step.ne4", "looped", "batched"),
+    ):
+        a = by_name.get(f"{group}.{num}")
+        b = by_name.get(f"{group}.{den}")
+        if a is not None and b is not None:
+            derived[f"{group}.speedup"] = a.seconds / b.seconds
+    ser = by_name.get("dist_sw_step.ne8.serial")
+    par = by_name.get("dist_sw_step.ne8.parallel")
+    if ser is not None and par is not None:
+        if par.meta.get("pool_active"):
+            derived["dist_sw_step.ne8.parallel_speedup"] = ser.seconds / par.seconds
+        else:
+            skipped["dist_sw_step.ne8.parallel_speedup"] = (
+                "worker pool fell back to serial; speedup floor not applicable"
+            )
 
     return {
         "schema": SCHEMA,
@@ -133,6 +193,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "benchmarks": [r.to_json() for r in results],
         "derived": derived,
         "floors": SPEEDUP_FLOORS,
+        "skipped": skipped,
     }
 
 
@@ -153,4 +214,6 @@ def render_report(report: dict) -> str:
         floor = report.get("floors", {}).get(name)
         bound = f"  (floor {floor:.1f}x)" if floor else ""
         lines.append(f"{name:<42} {val:>10.2f}x{bound}")
+    for name, reason in report.get("skipped", {}).items():
+        lines.append(f"skipped {name}: {reason}")
     return "\n".join(lines)

@@ -16,6 +16,7 @@ figure8   Figure 8 — weak scaling (48/192/650/768 elements/process)
 table3    Table 3 — NGGPS comparison vs FV3 and MPAS
 figure4   Figure 4 — two-platform climatology validation
 figure9   Figure 9 — Hurricane Katrina track and intensity
+parallel  (infrastructure) parallel-engine bitwise smoke check
 ========  =========================================================
 """
 
@@ -27,6 +28,7 @@ from .figure8_weak import run_figure8
 from .table3_nggps import run_table3
 from .figure4_validation import run_figure4
 from .figure9_katrina import run_figure9
+from .parallel_smoke import run_parallel_smoke
 
 __all__ = [
     "run_table1",
@@ -37,4 +39,5 @@ __all__ = [
     "run_table3",
     "run_figure4",
     "run_figure9",
+    "run_parallel_smoke",
 ]

@@ -28,21 +28,25 @@ from . import (
     run_figure7,
     run_figure8,
     run_figure9,
+    run_parallel_smoke,
     run_table1,
     run_table3,
 )
 
 DRIVERS = {
-    "table1": lambda quick: run_table1(),
-    "figure5": lambda quick: run_figure5(),
-    "figure6": lambda quick: run_figure6(),
-    "figure7": lambda quick: run_figure7(),
-    "figure8": lambda quick: run_figure8(),
-    "table3": lambda quick: run_table3(),
-    "figure4": lambda quick: run_figure4(
+    "table1": lambda quick, workers: run_table1(),
+    "figure5": lambda quick, workers: run_figure5(),
+    "figure6": lambda quick, workers: run_figure6(),
+    "figure7": lambda quick, workers: run_figure7(),
+    "figure8": lambda quick, workers: run_figure8(),
+    "table3": lambda quick, workers: run_table3(),
+    "figure4": lambda quick, workers: run_figure4(
         spinup_days=0.5 if quick else 2.0, mean_days=1.0 if quick else 6.0
     ),
-    "figure9": lambda quick: run_figure9(hours=2.0 if quick else 4.0),
+    "figure9": lambda quick, workers: run_figure9(hours=2.0 if quick else 4.0),
+    "parallel": lambda quick, workers: run_parallel_smoke(
+        workers=workers, steps=1 if quick else 2
+    ),
 }
 
 
@@ -57,10 +61,13 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="shorten simulations")
     p.add_argument("--logdir", default=None, metavar="DIR",
                    help="write one structured JSONL log per experiment to DIR")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker processes for the 'parallel' smoke driver "
+                        "(default 2; other drivers are single-process)")
     return p
 
 
-def run_experiment(name: str, quick: bool = False) -> RunLog:
+def run_experiment(name: str, quick: bool = False, workers: int = 2) -> RunLog:
     """Run one driver; returns its structured log.
 
     The log carries a ``start`` event, one ``record`` event per
@@ -69,7 +76,7 @@ def run_experiment(name: str, quick: bool = False) -> RunLog:
     """
     log = RunLog(name)
     log.record("start", name, quick=quick)
-    table = DRIVERS[name](quick)
+    table = DRIVERS[name](quick, workers)
     for rec in table.records:
         log.record(
             "record",
@@ -98,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     ok = True
     for name in names:
         print(f"\n{'#' * 72}\n# {name}\n{'#' * 72}")
-        log = run_experiment(name, ns.quick)
+        log = run_experiment(name, ns.quick, ns.workers)
         ok = ok and log.last("verdict") == "pass"
         if ns.logdir:
             path = os.path.join(ns.logdir, f"{name}.jsonl")

@@ -24,14 +24,58 @@ from ..mesh.cubed_sphere import CubedSphereMesh
 from ..mesh.partition import SFCPartition
 from ..network.simmpi import SimMPI, rank_track
 from ..obs.tracer import NULL_TRACER
-from .bndry import HaloExchanger
+from ..parallel.dycore import (
+    fresh_context_key,
+    prim_euler_stage1_task,
+    prim_euler_stage2_task,
+    prim_laplace_task,
+    prim_limit_task,
+    prim_stage_task,
+    sw_stage_task,
+)
+from ..parallel.engine import (
+    SERIAL_ENGINE,
+    ParallelEngine,
+    register_context,
+    unregister_context,
+)
+from .bndry import HaloExchanger, exchange_tag
 from .element import ElementGeometry
 from .shallow_water import SWState, williamson2_initial
-from . import operators as op
+
+
+def _make_engine(model, workers: int, validate: bool, label: str):
+    """Shared ``workers=`` plumbing for the distributed models.
+
+    Registers the per-rank geometries in the fork-inherited context
+    registry (warming the memoized tensor caches first, so workers
+    inherit them copy-on-write), then starts the pool — or hands back
+    the shared always-serial engine for ``workers <= 1``.
+    """
+    model.workers = max(0, int(workers))
+    model.validate = bool(validate)
+    for g in model.geoms:
+        g.tensors  # noqa: B018 - warm the cache before the pool forks
+    model._ctx_key = register_context(fresh_context_key(label), model.geoms)
+    if model.workers > 1:
+        model.engine = ParallelEngine(
+            workers=model.workers, validate=model.validate,
+            tracer=model.tracer, label=label,
+        )
+    else:
+        model.engine = SERIAL_ENGINE
 
 
 class DistributedShallowWater:
-    """Shallow-water RK3 over ``nranks`` simulated MPI ranks."""
+    """Shallow-water RK3 over ``nranks`` simulated MPI ranks.
+
+    ``workers > 1`` runs each rank's tendency computation on a real
+    core through :class:`repro.parallel.engine.ParallelEngine`; every
+    DSS stays on the driver in fixed rank order, so the trajectory is
+    bitwise identical to ``workers=0`` (``validate=True`` asserts this
+    on every pool dispatch).  Simulated clocks are unaffected either
+    way — SimMPI remains the timing model.
+    """
 
     def __init__(
         self,
@@ -42,6 +86,8 @@ class DistributedShallowWater:
         compute_cost_per_element: float = 1.0e-5,
         faults=None,
         tracer=None,
+        workers: int = 0,
+        validate: bool = False,
     ) -> None:
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
@@ -55,6 +101,7 @@ class DistributedShallowWater:
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
+        _make_engine(self, workers, validate, "dist-sw")
         init = williamson2_initial(mesh)
         self.states = [
             SWState(
@@ -70,7 +117,7 @@ class DistributedShallowWater:
         self.dt = dt
         self.t = 0.0
         self.step_count = 0
-        self._tag = 0
+        self._epoch = 0
         # Simulated kernel cost attribution for the overlap window.
         self._cost = compute_cost_per_element
         self._bc = [
@@ -82,28 +129,30 @@ class DistributedShallowWater:
 
     # -- distributed DSS ------------------------------------------------------
 
-    def _exchange(self, locals_: list[np.ndarray]) -> list[np.ndarray]:
-        self._tag += 1
+    def _exchange(self, locals_: list[np.ndarray], stage: int,
+                  slot: int) -> list[np.ndarray]:
         outs, _ = self.hx.exchange(
             locals_,
             self.mpi,
             mode=self.mode,
             boundary_compute=self._bc,
             inner_compute=self._ic,
-            tag=self._tag,
+            tag=exchange_tag(self.step_count, stage, slot, self._epoch),
         )
         return outs
 
-    def _dss_scalar(self, fields: list[np.ndarray]) -> list[np.ndarray]:
-        return self._exchange(fields)
+    def _dss_scalar(self, fields: list[np.ndarray], stage: int,
+                    slot: int) -> list[np.ndarray]:
+        return self._exchange(fields, stage, slot)
 
-    def _dss_vector(self, vs: list[np.ndarray]) -> list[np.ndarray]:
+    def _dss_vector(self, vs: list[np.ndarray], stage: int,
+                    slot: int) -> list[np.ndarray]:
         """Vector DSS through the Cartesian tangent representation."""
         ws = []
         for r, v in enumerate(vs):
             e = self.geoms[r].e_cov  # (E_r, n, n, 3, 2)
             ws.append(self.mesh.radius * np.einsum("...xc,...c->...x", e, v))
-        ws = self._exchange(ws)
+        ws = self._exchange(ws, stage, slot)
         out = []
         for r, w in enumerate(ws):
             g = self.geoms[r]
@@ -113,26 +162,16 @@ class DistributedShallowWater:
 
     # -- dynamics -----------------------------------------------------------------
 
-    def _rhs(self, r: int, s: SWState) -> tuple[np.ndarray, np.ndarray]:
-        geom = self.geoms[r]
-        zeta = op.vorticity_sphere(s.v, geom)
-        E = op.kinetic_energy(s.v, geom) + C.GRAVITY * s.h
-        grad_E = op.gradient_sphere(E, geom)
-        kxv = op.k_cross(s.v, geom)
-        dv = -(zeta + geom.fcor)[..., None] * kxv - grad_E
-        dh = -op.divergence_sphere(s.v * s.h[..., None], geom)
-        return dh, dv
-
     def _stage(self, bases: list[SWState], points: list[SWState], dt: float,
                stage: int = 0) -> list[SWState]:
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        hs, vs = [], []
-        for r in range(self.nranks):
-            dh, dv = self._rhs(r, points[r])
-            hs.append(bases[r].h + dt * dh)
-            vs.append(bases[r].v + dt * dv)
-        hs = self._dss_scalar(hs)
-        vs = self._dss_vector(vs)
+        outs = self.engine.run(sw_stage_task, [
+            ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+             (bases[r].h, bases[r].v, points[r].h, points[r].v))
+            for r in range(self.nranks)
+        ])
+        hs = self._dss_scalar([o[0] for o in outs], stage, slot=0)
+        vs = self._dss_vector([o[1] for o in outs], stage, slot=1)
         if self.tracer.enabled:
             for r in range(self.nranks):
                 self.tracer.span_at(
@@ -161,17 +200,29 @@ class DistributedShallowWater:
         for _ in range(n):
             self.step()
 
+    def close(self) -> None:
+        """Stop the worker pool (if any) and drop the context entry."""
+        if self.engine is not SERIAL_ENGINE:
+            self.engine.close()
+        unregister_context(self._ctx_key)
+
+    def __enter__(self) -> "DistributedShallowWater":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- checkpointing ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, np.ndarray]:
         """Everything needed to continue the trajectory bitwise.
 
         Per-rank prognostic arrays plus the scalar counters (model time,
-        step count, exchange tag — the tag matters because message
-        matching keys on it).
+        step count, tag epoch).
         """
         snap: dict[str, np.ndarray] = {
-            "meta": np.array([self.t, self.step_count, self._tag], dtype=np.float64)
+            "meta": np.array([self.t, self.step_count, self._epoch],
+                             dtype=np.float64)
         }
         for r, s in enumerate(self.states):
             snap[f"h_{r}"] = s.h.copy()
@@ -179,13 +230,19 @@ class DistributedShallowWater:
         return snap
 
     def restore_snapshot(self, snap: dict[str, np.ndarray]) -> None:
-        """Reset the prognostic state from a :meth:`snapshot` dict."""
+        """Reset the prognostic state from a :meth:`snapshot` dict.
+
+        The tag epoch is *not* restored — it strictly increases so a
+        replayed step can never match a stale in-flight message from
+        the aborted attempt (which is also purged outright).
+        """
         if f"h_{self.nranks - 1}" not in snap or f"h_{self.nranks}" in snap:
             raise KernelError("snapshot rank count does not match this model")
-        t, steps, tag = (float(x) for x in snap["meta"])
+        t, steps, _epoch = (float(x) for x in snap["meta"])
         self.t = t
         self.step_count = int(steps)
-        self._tag = int(tag)
+        self._epoch += 1
+        self.mpi.purge_pending()
         self.states = [
             SWState(h=snap[f"h_{r}"].copy(), v=snap[f"v_{r}"].copy())
             for r in range(self.nranks)
@@ -217,6 +274,12 @@ class DistributedPrimitiveEquations:
     vertical remap, physics) needs no communication — exactly the
     structure the paper exploits.  Trajectories match the serial model
     to roundoff (verified in the tests).
+
+    ``workers > 1`` fans the per-rank tendency, tracer-advection, and
+    hyperviscosity work across real cores (see
+    :mod:`repro.parallel.dycore`); all DSS and allreduce combines stay
+    on the driver in fixed rank order, so the trajectory is bitwise
+    identical to ``workers=0``.
     """
 
     def __init__(
@@ -229,6 +292,8 @@ class DistributedPrimitiveEquations:
         mode: str = "overlap",
         faults=None,
         tracer=None,
+        workers: int = 0,
+        validate: bool = False,
     ) -> None:
         from ..homme.hypervis import nu_for_ne
 
@@ -258,16 +323,17 @@ class DistributedPrimitiveEquations:
         self.nu = nu_for_ne(cfg.ne)
         self.t = 0.0
         self.step_count = 0
-        self._tag = 0
+        self._epoch = 0
+        _make_engine(self, workers, validate, "dist-prim")
 
     # -- distributed DSS over level-carrying fields --------------------------------
 
-    def _exchange(self, locals_):
-        self._tag += 1
-        outs, _ = self.hx.exchange(locals_, self.mpi, mode=self.mode, tag=self._tag)
+    def _exchange(self, locals_, stage, slot):
+        tag = exchange_tag(self.step_count, stage, slot, self._epoch)
+        outs, _ = self.hx.exchange(locals_, self.mpi, mode=self.mode, tag=tag)
         return outs
 
-    def _dss_levels(self, fields):
+    def _dss_levels(self, fields, stage, slot):
         """DSS (E_r, L, n, n) fields: levels move to the trailing axis.
 
         Outputs are made contiguous so the state's memory layout — and
@@ -276,17 +342,17 @@ class DistributedPrimitiveEquations:
         checkpoint (bitwise restart depends on this).
         """
         moved = [np.moveaxis(f, 1, -1) for f in fields]
-        out = self._exchange(moved)
+        out = self._exchange(moved, stage, slot)
         return [np.ascontiguousarray(np.moveaxis(f, -1, 1)) for f in out]
 
-    def _dss_vector_levels(self, vs):
+    def _dss_vector_levels(self, vs, stage, slot):
         """DSS (E_r, L, n, n, 2) contravariant fields via Cartesian form."""
         ws = []
         for r, v in enumerate(vs):
             e = self.geoms[r].e_cov[:, None]  # broadcast over levels
             w = self.mesh.radius * np.einsum("...xc,...c->...x", e, v)
             ws.append(np.moveaxis(w, 1, -2).reshape(w.shape[0], w.shape[2], w.shape[3], -1))
-        ws = self._exchange(ws)
+        ws = self._exchange(ws, stage, slot)
         out = []
         for r, w in enumerate(ws):
             E, n = w.shape[0], w.shape[1]
@@ -306,18 +372,16 @@ class DistributedPrimitiveEquations:
     # -- one distributed dynamics step ------------------------------------------------
 
     def _rk_stage(self, bases, points, dt, stage=0):
-        from .rhs import compute_rhs
-
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        vs, Ts, dps = [], [], []
-        for r in range(self.nranks):
-            dv, dT, ddp = compute_rhs(points[r], self.geoms[r])
-            vs.append(bases[r].v + dt * dv)
-            Ts.append(bases[r].T + dt * dT)
-            dps.append(bases[r].dp3d + dt * ddp)
-        Ts = self._dss_levels(Ts)
-        dps = self._dss_levels(dps)
-        vs = self._dss_vector_levels(vs)
+        outs = self.engine.run(prim_stage_task, [
+            ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+             (bases[r].v, bases[r].T, bases[r].dp3d,
+              points[r].v, points[r].T, points[r].dp3d))
+            for r in range(self.nranks)
+        ])
+        Ts = self._dss_levels([o[1] for o in outs], stage, slot=0)
+        dps = self._dss_levels([o[2] for o in outs], stage, slot=1)
+        vs = self._dss_vector_levels([o[0] for o in outs], stage, slot=2)
         if self.tracer.enabled:
             for r in range(self.nranks):
                 self.tracer.span_at(
@@ -332,10 +396,8 @@ class DistributedPrimitiveEquations:
         return out
 
     def step(self) -> None:
-        from .euler import advect_qdp, limit_qdp
         from .remap import vertical_remap
         from .timestep import RSPLIT
-        from . import operators as op
 
         dt = self.dt
         step_t0s = [self.mpi.now(r) for r in range(self.nranks)]
@@ -348,42 +410,39 @@ class DistributedPrimitiveEquations:
         euler_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         sub = self.cfg.tracer_subcycles
         sdt = dt / sub
-        for _ in range(sub):
+        for sub_i in range(sub):
             for q in range(self.cfg.qsize):
-                f0 = [
-                    advect_qdp(s3[r].qdp[:, q], s3[r].v, self.geoms[r])
+                # Three exchanges per (subcycle, tracer): st1, st2, limited.
+                slot0 = 3 * (sub_i * self.cfg.qsize + q)
+                metas = [
+                    {"ctx": self._ctx_key, "rank": r, "sdt": sdt}
                     for r in range(self.nranks)
                 ]
-                st1 = self._dss_levels(
-                    [s3[r].qdp[:, q] + sdt * f0[r] for r in range(self.nranks)]
-                )
-                f1 = [
-                    advect_qdp(st1[r], s3[r].v, self.geoms[r])
-                    for r in range(self.nranks)
-                ]
-                st2 = self._dss_levels(
-                    [
-                        0.5 * (s3[r].qdp[:, q] + st1[r] + sdt * f1[r])
-                        for r in range(self.nranks)
-                    ]
-                )
+                st1 = self._dss_levels([o[0] for o in self.engine.run(
+                    prim_euler_stage1_task,
+                    [(metas[r], (s3[r].qdp[:, q], s3[r].v))
+                     for r in range(self.nranks)],
+                )], stage=4, slot=slot0)
+                st2 = self._dss_levels([o[0] for o in self.engine.run(
+                    prim_euler_stage2_task,
+                    [(metas[r], (s3[r].qdp[:, q], st1[r], s3[r].v))
+                     for r in range(self.nranks)],
+                )], stage=4, slot=slot0 + 1)
                 # NOTE: the serial limiter's global fixer needs global
-                # sums; the distributed form uses an allreduce.
-                limited = [limit_qdp(st2[r], self.geoms[r], global_fixer=False)
-                           for r in range(self.nranks)]
-                before = self.mpi.allreduce(
-                    [np.sum(st2[r] * self.geoms[r].spheremp[:, None], axis=(0, 2, 3))
-                     for r in range(self.nranks)]
+                # sums; the distributed form uses an allreduce (on the
+                # driver, in fixed rank order — the determinism rule).
+                lim = self.engine.run(
+                    prim_limit_task,
+                    [(metas[r], (st2[r],)) for r in range(self.nranks)],
                 )
-                after = self.mpi.allreduce(
-                    [np.sum(limited[r] * self.geoms[r].spheremp[:, None], axis=(0, 2, 3))
-                     for r in range(self.nranks)]
-                )
+                limited = [o[0] for o in lim]
+                before = self.mpi.allreduce([o[1] for o in lim])
+                after = self.mpi.allreduce([o[2] for o in lim])
                 with np.errstate(divide="ignore", invalid="ignore"):
                     scale = np.where(after > 0, before / after, 0.0)
                 limited = [arr * np.clip(scale, 0.0, None)[None, :, None, None]
                            for arr in limited]
-                limited = self._dss_levels(limited)
+                limited = self._dss_levels(limited, stage=4, slot=slot0 + 2)
                 for r in range(self.nranks):
                     s3[r].qdp[:, q] = limited[r]
         if self.tracer.enabled:
@@ -394,25 +453,26 @@ class DistributedPrimitiveEquations:
                 )
 
         # Hyperviscosity (single subcycle configuration assumed small dt).
+        # Each biharmonic round is one pool dispatch computing all three
+        # field laplacians per rank; the DSS rounds between them stay on
+        # the driver.  (Values are unchanged from the per-field form —
+        # each field's laplacian/DSS chain is independent.)
         hv_t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        lap_T = self._dss_levels(
-            [op.laplace_sphere_wk(s3[r].T, self.geoms[r]) for r in range(self.nranks)]
-        )
-        lap_v = self._dss_vector_levels(
-            [op.vlaplace_sphere(s3[r].v, self.geoms[r]) for r in range(self.nranks)]
-        )
-        bih_T = self._dss_levels(
-            [op.laplace_sphere_wk(lap_T[r], self.geoms[r]) for r in range(self.nranks)]
-        )
-        bih_v = self._dss_vector_levels(
-            [op.vlaplace_sphere(lap_v[r], self.geoms[r]) for r in range(self.nranks)]
-        )
-        lap_dp = self._dss_levels(
-            [op.laplace_sphere_wk(s3[r].dp3d, self.geoms[r]) for r in range(self.nranks)]
-        )
-        bih_dp = self._dss_levels(
-            [op.laplace_sphere_wk(lap_dp[r], self.geoms[r]) for r in range(self.nranks)]
-        )
+        hv_metas = [{"ctx": self._ctx_key, "rank": r} for r in range(self.nranks)]
+        lap = self.engine.run(prim_laplace_task, [
+            (hv_metas[r], (s3[r].T, s3[r].v, s3[r].dp3d))
+            for r in range(self.nranks)
+        ])
+        lap_T = self._dss_levels([o[0] for o in lap], stage=5, slot=0)
+        lap_v = self._dss_vector_levels([o[1] for o in lap], stage=5, slot=1)
+        lap_dp = self._dss_levels([o[2] for o in lap], stage=5, slot=2)
+        bih = self.engine.run(prim_laplace_task, [
+            (hv_metas[r], (lap_T[r], lap_v[r], lap_dp[r]))
+            for r in range(self.nranks)
+        ])
+        bih_T = self._dss_levels([o[0] for o in bih], stage=5, slot=3)
+        bih_v = self._dss_vector_levels([o[1] for o in bih], stage=5, slot=4)
+        bih_dp = self._dss_levels([o[2] for o in bih], stage=5, slot=5)
         for r in range(self.nranks):
             s3[r].T = s3[r].T - dt * self.nu * bih_T[r]
             s3[r].v = s3[r].v - dt * self.nu * bih_v[r]
@@ -447,12 +507,25 @@ class DistributedPrimitiveEquations:
         for _ in range(n):
             self.step()
 
+    def close(self) -> None:
+        """Stop the worker pool (if any) and drop the context entry."""
+        if self.engine is not SERIAL_ENGINE:
+            self.engine.close()
+        unregister_context(self._ctx_key)
+
+    def __enter__(self) -> "DistributedPrimitiveEquations":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- checkpointing ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, np.ndarray]:
         """Everything needed to continue the trajectory bitwise."""
         snap: dict[str, np.ndarray] = {
-            "meta": np.array([self.t, self.step_count, self._tag], dtype=np.float64)
+            "meta": np.array([self.t, self.step_count, self._epoch],
+                             dtype=np.float64)
         }
         for r, s in enumerate(self.states):
             snap[f"v_{r}"] = s.v.copy()
@@ -462,13 +535,19 @@ class DistributedPrimitiveEquations:
         return snap
 
     def restore_snapshot(self, snap: dict[str, np.ndarray]) -> None:
-        """Reset the prognostic state from a :meth:`snapshot` dict."""
+        """Reset the prognostic state from a :meth:`snapshot` dict.
+
+        The tag epoch strictly increases (never restored) and pending
+        messages are purged, so a replayed step cannot match stale
+        in-flight traffic from an aborted attempt.
+        """
         if f"T_{self.nranks - 1}" not in snap or f"T_{self.nranks}" in snap:
             raise KernelError("snapshot rank count does not match this model")
-        t, steps, tag = (float(x) for x in snap["meta"])
+        t, steps, _epoch = (float(x) for x in snap["meta"])
         self.t = t
         self.step_count = int(steps)
-        self._tag = int(tag)
+        self._epoch += 1
+        self.mpi.purge_pending()
         for r, s in enumerate(self.states):
             s.v = snap[f"v_{r}"].copy()
             s.T = snap[f"T_{r}"].copy()

@@ -222,10 +222,13 @@ class SimMPI:
     def wait(self, req: SimRequest) -> np.ndarray | None:
         """Complete a request, advancing the owner's clock as needed.
 
-        Waiting a completed *send* request again is an explicit no-op
-        (matching MPI_Wait on an inactive request); waiting a completed
-        *receive* again is a protocol error.  Waiting a request owned by
-        a different communicator is always a protocol error.
+        Waiting any *completed* request again is an idempotent no-op
+        (matching MPI_Wait on an inactive request, and what
+        :meth:`waitall`'s contract already promised): a completed send
+        returns ``None``, a completed receive returns the payload it
+        already delivered — without touching the mailbox, the owner's
+        clock, or ``comm_seconds`` again.  Waiting a request owned by a
+        different communicator is always a protocol error.
         """
         if req.comm is not None and req.comm is not self:
             raise SimMPIError(
@@ -235,7 +238,11 @@ class SimMPI:
             # Sends complete at post time; repeated waits are no-ops.
             return None
         if req.done:
-            raise SimMPIError("wait called twice on the same receive request")
+            # Previously this re-entered the mailbox pop: a duplicated
+            # request in a waitall list could re-deliver another
+            # request's message (or die on an empty queue) and charge
+            # comm_seconds twice.
+            return req.payload
         key = (req.peer, req.rank, req.tag)
         q = self._mailbox.get(key)
         if q:
@@ -304,8 +311,10 @@ class SimMPI:
     def waitall(self, reqs: list[SimRequest]) -> list[np.ndarray | None]:
         """Complete a list of requests in order.
 
-        Completed send requests appearing more than once are counted
-        once each as no-ops — they never deliver a payload twice.
+        Requests appearing more than once complete exactly once: the
+        duplicates are idempotent no-ops (receives re-return the payload
+        already delivered; sends return ``None``) and never consume
+        another request's message or charge ``comm_seconds`` twice.
         """
         return [self.wait(r) for r in reqs]
 
@@ -388,3 +397,17 @@ class SimMPI:
         return sum(len(q) for q in self._mailbox.values()) + sum(
             len(q) for q in self._lost.values()
         )
+
+    def purge_pending(self) -> int:
+        """Discard every undelivered message; returns how many.
+
+        For rollback/restart paths: after a mid-step abort (e.g. a
+        :class:`SimMPITimeoutError` surfaced to a resilience runner) the
+        mailbox may still hold messages from the aborted exchange.
+        Restoring a checkpoint must drop them, or a replayed exchange
+        could match a stale retransmit against a reused tag.
+        """
+        n = self.pending_messages()
+        self._mailbox.clear()
+        self._lost.clear()
+        return n

@@ -37,6 +37,7 @@ from .metrics import (
     collect_exchange_report,
     collect_faults,
     collect_ldm,
+    collect_parallel_engine,
     collect_perf_counters,
     collect_simmpi,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "collect_exchange_report",
     "collect_faults",
     "collect_ldm",
+    "collect_parallel_engine",
     "collect_perf_counters",
     "collect_simmpi",
     "KernelAttribution",

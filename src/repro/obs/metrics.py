@@ -275,3 +275,27 @@ def collect_faults(reg: MetricsRegistry, injector) -> MetricsRegistry:
     for kind, n in sorted(injector.summary().items()):
         reg.inc(f"faults.{kind}", n)
     return reg
+
+
+def collect_parallel_engine(reg: MetricsRegistry, engine) -> MetricsRegistry:
+    """Fold a :class:`~repro.parallel.engine.ParallelEngine` into ``reg``.
+
+    Whole-pool tallies under ``parallel.*`` plus per-worker counters
+    under ``parallel.worker.<i>.*`` — these are *wall-clock* quantities
+    (the pool runs on real cores), unlike the simulated-time ``mpi.*``
+    family.
+    """
+    reg.set_gauge("parallel.workers", engine.workers)
+    reg.set_gauge("parallel.active", 1.0 if engine.active else 0.0)
+    reg.inc("parallel.calls", engine.calls)
+    reg.inc("parallel.tasks.parallel", engine.tasks_parallel)
+    reg.inc("parallel.tasks.serial", engine.tasks_serial)
+    reg.inc("parallel.validations", engine.validations)
+    for s in engine.stats:
+        prefix = f"parallel.worker.{s.worker}"
+        reg.inc(f"{prefix}.tasks", s.tasks)
+        reg.inc(f"{prefix}.busy_seconds", s.busy_seconds)
+        reg.inc(f"{prefix}.bytes_in", s.bytes_in)
+        reg.inc(f"{prefix}.bytes_out", s.bytes_out)
+        reg.inc(f"{prefix}.errors", s.errors)
+    return reg

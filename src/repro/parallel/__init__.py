@@ -1,0 +1,50 @@
+"""``repro.parallel``: real multi-core execution for the reproduction.
+
+Everything else in this codebase models parallelism — simulated rank
+clocks, simulated CPE clusters — while executing on one Python process.
+This package is where the reproduction finally *runs* on multiple
+cores: a persistent ``multiprocessing`` worker pool with
+``shared_memory``-backed element arrays executes the per-rank compute
+of the distributed models and the element-batched HOMME kernels across
+real cores, while SimMPI's deterministic simulated clocks remain the
+timing model.
+
+The contract (DESIGN.md §10):
+
+- **Determinism.** Workers only ever compute *independent* work units
+  (one simulated rank's tendencies, one contiguous element chunk).
+  Every cross-rank reduction — DSS accumulation, allreduce, the
+  chunk-concatenation combine — happens on the driver process in a
+  fixed rank/chunk order, so parallel results are **bitwise identical**
+  to serial execution.
+- **Fallback.** ``workers <= 1``, an unavailable ``fork`` start
+  method, or any pool start-up failure silently degrades to in-process
+  serial execution of the very same task functions.
+- **Validation.** ``validate=True`` mirrors the 1e-12 dispatch check
+  of :func:`repro.backends.functional_exec.cross_validate_paths`:
+  every parallel result is recomputed serially and compared bitwise.
+"""
+
+from .engine import (  # noqa: F401
+    ParallelEngine,
+    SERIAL_ENGINE,
+    WorkerStats,
+    available_cores,
+    worker_track,
+)
+from .dycore import (  # noqa: F401
+    ParallelHommeKernels,
+    cross_validate_parallel,
+    parallel_homme_execution,
+)
+
+__all__ = [
+    "ParallelEngine",
+    "SERIAL_ENGINE",
+    "WorkerStats",
+    "available_cores",
+    "worker_track",
+    "ParallelHommeKernels",
+    "cross_validate_parallel",
+    "parallel_homme_execution",
+]

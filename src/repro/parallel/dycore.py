@@ -1,0 +1,319 @@
+"""Task functions and kernel wrappers that put the dycore on real cores.
+
+Two layers live here:
+
+1. **Per-rank tasks** for the distributed models: the element-local
+   tendency / laplacian / tracer-advection work of one simulated rank,
+   packaged as module-level functions the engine can ship to a worker.
+   The driver (``repro.homme.distributed``) routes *both* the serial
+   and the parallel path through these same functions, so the two modes
+   execute identical float64 streams — bitwise identity by
+   construction, with all DSS reductions staying on the driver in fixed
+   rank order.
+
+2. **Element-chunked kernels** (:class:`ParallelHommeKernels`): the
+   batched HOMME kernels of :mod:`repro.homme.operators` /
+   :mod:`repro.homme.rhs` split into contiguous element chunks, one
+   chunk per worker, concatenated back in chunk order.  Every operator
+   is element-local, so a chunk computes exactly the rows it owns and
+   the concatenation is bitwise equal to the full-stack call (asserted
+   by :func:`cross_validate_parallel`).
+
+Geometry never crosses a queue: the driver registers the per-rank (or
+per-chunk) :class:`~repro.homme.element.ElementGeometry` objects in the
+fork-inherited context registry *before* the pool starts.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..errors import KernelError
+from .engine import ParallelEngine, get_context, register_context, unregister_context
+
+__all__ = [
+    "ParallelHommeKernels",
+    "cross_validate_parallel",
+    "parallel_homme_execution",
+]
+
+_ctx_counter = itertools.count()
+
+
+def fresh_context_key(prefix: str) -> str:
+    """A process-unique context key (ids recycle; the counter doesn't)."""
+    return f"{prefix}:{next(_ctx_counter)}"
+
+
+# ---------------------------------------------------------------------------
+# Per-rank tasks for the distributed models
+# ---------------------------------------------------------------------------
+
+
+def sw_stage_task(meta, base_h, base_v, point_h, point_v):
+    """One rank's shallow-water RK-stage update (pre-DSS).
+
+    Returns ``(base + dt * tendency)`` for h and v, evaluated with the
+    rank's geometry from the registered context.
+    """
+    from ..homme.shallow_water import sw_compute_rhs
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    dh, dv = sw_compute_rhs(point_h, point_v, geom)
+    dt = meta["dt"]
+    return base_h + dt * dh, base_v + dt * dv
+
+
+def prim_stage_task(meta, base_v, base_T, base_dp, point_v, point_T, point_dp):
+    """One rank's primitive-equation RK-stage update (pre-DSS)."""
+    from ..homme.element import ElementState
+    from ..homme.rhs import compute_rhs
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    E, L, n = point_T.shape[0], point_T.shape[1], point_T.shape[2]
+    point = ElementState(
+        v=point_v, T=point_T, dp3d=point_dp, qdp=np.zeros((E, 1, L, n, n))
+    )
+    dv, dT, ddp = compute_rhs(point, geom)
+    dt = meta["dt"]
+    return base_v + dt * dv, base_T + dt * dT, base_dp + dt * ddp
+
+
+def prim_laplace_task(meta, T, v, dp):
+    """One rank's hyperviscosity laplacians for all three fields."""
+    from ..homme import operators as op
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    return (
+        op.laplace_sphere_wk(T, geom),
+        op.vlaplace_sphere(v, geom),
+        op.laplace_sphere_wk(dp, geom),
+    )
+
+
+def prim_euler_stage1_task(meta, qdp_q, v):
+    """Tracer SSP-RK2 stage 1 (pre-DSS): qdp + sdt * advect(qdp)."""
+    from ..homme.euler import advect_qdp
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    return (qdp_q + meta["sdt"] * advect_qdp(qdp_q, v, geom),)
+
+
+def prim_euler_stage2_task(meta, qdp_q, st1, v):
+    """Tracer SSP-RK2 stage 2 (pre-DSS): 0.5 (qdp + st1 + sdt advect(st1))."""
+    from ..homme.euler import advect_qdp
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    return (0.5 * (qdp_q + st1 + meta["sdt"] * advect_qdp(st1, v, geom)),)
+
+
+def prim_limit_task(meta, st2):
+    """One rank's limiter pass plus its local mass sums.
+
+    Returns ``(limited, before_r, after_r)``; the driver allreduces the
+    per-level mass sums across ranks in fixed rank order and applies
+    the global fixer scale.
+    """
+    from ..homme.euler import limit_qdp
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    limited = limit_qdp(st2, geom, global_fixer=False)
+    w = geom.spheremp[:, None]
+    before = np.sum(st2 * w, axis=(0, 2, 3))
+    after = np.sum(limited * w, axis=(0, 2, 3))
+    return limited, before, after
+
+
+# ---------------------------------------------------------------------------
+# Element-chunked batched kernels
+# ---------------------------------------------------------------------------
+
+
+def chunk_sw_rhs_task(meta, h, v):
+    from ..homme.shallow_water import sw_compute_rhs
+
+    geom = get_context(meta["ctx"])[meta["chunk"]]
+    return sw_compute_rhs(h, v, geom)
+
+
+def chunk_prim_rhs_task(meta, v, T, dp3d):
+    from ..homme.element import ElementState
+    from ..homme.rhs import compute_rhs
+
+    geom = get_context(meta["ctx"])[meta["chunk"]]
+    E, L, n = T.shape[0], T.shape[1], T.shape[2]
+    state = ElementState(v=v, T=T, dp3d=dp3d, qdp=np.zeros((E, 1, L, n, n)))
+    return compute_rhs(state, geom)
+
+
+def chunk_laplace_wk_task(meta, f):
+    from ..homme import operators as op
+
+    geom = get_context(meta["ctx"])[meta["chunk"]]
+    return (op.laplace_sphere_wk(f, geom),)
+
+
+def chunk_vlaplace_task(meta, v):
+    from ..homme import operators as op
+
+    geom = get_context(meta["ctx"])[meta["chunk"]]
+    return (op.vlaplace_sphere(v, geom),)
+
+
+class ParallelHommeKernels:
+    """Element-chunked execution of the batched HOMME kernels.
+
+    Splits the element stack of ``geom`` into ``workers`` contiguous
+    chunks, registers per-chunk geometries, and starts (or adopts) a
+    :class:`~repro.parallel.engine.ParallelEngine`.  Each kernel call
+    fans the chunks out across the pool and concatenates the results in
+    chunk order — bitwise identical to the single-call batched kernel
+    because every operator is element-local.
+
+    Use as a context manager or call :meth:`close` to stop the pool.
+    """
+
+    def __init__(
+        self,
+        geom,
+        workers: int = 0,
+        validate: bool = False,
+        tracer=None,
+        engine: ParallelEngine | None = None,
+    ) -> None:
+        from ..homme.element import ElementGeometry
+
+        self.geom = geom
+        nchunks = max(1, int(workers)) if engine is None else max(1, engine.workers)
+        nchunks = min(nchunks, geom.nelem)
+        bounds = np.linspace(0, geom.nelem, nchunks + 1).astype(int)
+        self.chunks = [
+            (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        chunk_geoms = [
+            ElementGeometry(geom.mesh, geom.elem_ids[lo:hi]) for lo, hi in self.chunks
+        ]
+        # Warm the tensor caches now so forked workers inherit them.
+        for g in chunk_geoms:
+            g.tensors  # noqa: B018 - memoizing property access
+        self._ctx_key = register_context(fresh_context_key("homme-chunks"), chunk_geoms)
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else ParallelEngine(
+            workers=workers, validate=validate, tracer=tracer, label="homme-kernels"
+        )
+
+    # -- kernel surface (matches HommeExecution's callables) ----------------
+
+    def _fanout(self, task, arrays_of: list[np.ndarray]) -> list[tuple]:
+        payloads = [
+            ({"ctx": self._ctx_key, "chunk": c},
+             tuple(a[lo:hi] for a in arrays_of))
+            for c, (lo, hi) in enumerate(self.chunks)
+        ]
+        return self.engine.run(task, payloads)
+
+    def sw_rhs(self, h, v, geom=None):
+        outs = self._fanout(chunk_sw_rhs_task, [h, v])
+        return (
+            np.concatenate([o[0] for o in outs]),
+            np.concatenate([o[1] for o in outs]),
+        )
+
+    def compute_rhs(self, state, geom=None, phis=None):
+        if phis is not None:
+            raise KernelError("parallel compute_rhs does not take phis yet")
+        outs = self._fanout(chunk_prim_rhs_task, [state.v, state.T, state.dp3d])
+        return tuple(np.concatenate([o[k] for o in outs]) for k in range(3))
+
+    def laplace_wk(self, f, geom=None):
+        outs = self._fanout(chunk_laplace_wk_task, [f])
+        return np.concatenate([o[0] for o in outs])
+
+    def vlaplace(self, v, geom=None):
+        outs = self._fanout(chunk_vlaplace_task, [v])
+        return np.concatenate([o[0] for o in outs])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self.engine.close()
+        unregister_context(self._ctx_key)
+
+    def __enter__(self) -> "ParallelHommeKernels":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def parallel_homme_execution(geom, workers: int = 0, validate: bool = False):
+    """A :class:`~repro.backends.functional_exec.HommeExecution`-shaped
+    bundle running the batched kernels across real cores.
+
+    Returns ``(execution, kernels)``; close ``kernels`` when done.  The
+    tracer path stays batched (``euler_path="batched"``) — tracer
+    parallelism belongs to the distributed models' per-rank engine.
+    """
+    from ..backends.functional_exec import HommeExecution
+
+    kernels = ParallelHommeKernels(geom, workers=workers, validate=validate)
+    ex = HommeExecution(
+        name=f"parallel[{kernels.engine.workers if kernels.engine.active else 1}]",
+        compute_rhs=lambda state, g, phis=None: kernels.compute_rhs(state, g, phis),
+        sw_rhs=lambda h, v, g: kernels.sw_rhs(h, v, g),
+        laplace_wk=lambda f, g: kernels.laplace_wk(f, g),
+        vlaplace=lambda v, g: kernels.vlaplace(v, g),
+        euler_path="batched",
+    )
+    return ex, kernels
+
+
+def cross_validate_parallel(state, geom, workers: int = 2, rtol: float = 1e-12):
+    """Run every chunked kernel against its serial batched twin.
+
+    The ``repro.parallel`` mirror of
+    :func:`repro.backends.functional_exec.cross_validate_paths`: same
+    report shape (max relative disagreement per kernel), same ``rtol``
+    gate — but the expectation here is stronger, and the returned
+    errors are asserted to be **exactly zero** before the 1e-12 gate is
+    even consulted, because chunking must not change a single bit.
+    """
+    from ..homme import operators as _op
+    from ..homme import rhs as _rhs
+    from ..homme.shallow_water import williamson2_initial, sw_compute_rhs
+
+    def rel(a, c):
+        scale = max(float(np.max(np.abs(c))), 1e-300)
+        return float(np.max(np.abs(a - c))) / scale
+
+    errs: dict[str, float] = {}
+    bitwise = True
+    with ParallelHommeKernels(geom, workers=workers) as par:
+        dv_p, dT_p, ddp_p = par.compute_rhs(state, geom)
+        dv_s, dT_s, ddp_s = _rhs.compute_rhs(state, geom)
+        for name, a, c in (
+            ("compute_rhs.dv", dv_p, dv_s),
+            ("compute_rhs.dT", dT_p, dT_s),
+            ("compute_rhs.ddp", ddp_p, ddp_s),
+            ("laplace_wk.T", par.laplace_wk(state.T), _op.laplace_sphere_wk(state.T, geom)),
+            ("vlaplace.v", par.vlaplace(state.v), _op.vlaplace_sphere(state.v, geom)),
+        ):
+            errs[name] = rel(a, c)
+            bitwise = bitwise and bool(np.array_equal(a, c))
+        sw = williamson2_initial(geom.mesh)
+        h, v = sw.h[geom.elem_ids], sw.v[geom.elem_ids]
+        dh_p, dvv_p = par.sw_rhs(h, v)
+        dh_s, dvv_s = sw_compute_rhs(h, v, geom)
+        errs["sw_rhs.dh"] = rel(dh_p, dh_s)
+        errs["sw_rhs.dv"] = rel(dvv_p, dvv_s)
+        bitwise = bitwise and np.array_equal(dh_p, dh_s) and np.array_equal(dvv_p, dvv_s)
+    worst = max(errs.values())
+    if not bitwise or worst > rtol:
+        raise KernelError(
+            f"parallel/serial cross-validation failed: bitwise={bitwise}, "
+            f"max rel err {worst:.3e} > {rtol:.1e} ({errs})"
+        )
+    return errs

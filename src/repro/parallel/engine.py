@@ -1,0 +1,520 @@
+"""The process-parallel execution engine behind ``repro.parallel``.
+
+:class:`ParallelEngine` owns a persistent pool of forked worker
+processes and a set of ``multiprocessing.shared_memory`` blocks through
+which the element arrays travel to the workers.  One engine serves
+many calls: the per-task input blocks are allocated once and grown on
+demand, so a steady-state dispatch is one memcpy into shared memory
+plus one queue round-trip per task (results, whose shapes only the
+task function knows, return through the result queue).
+
+Execution model
+---------------
+
+``run(fn, payloads)`` executes ``fn(meta, *arrays)`` once per payload
+and returns the results **in payload order** — never in completion
+order — which is the fixed rank-ordered combine that makes parallel
+execution bitwise identical to serial.  ``fn`` must be a module-level
+function (it is pickled by reference into the workers) returning a
+tuple of ndarrays.
+
+Large read-only context (element geometries, meshes) never crosses a
+queue: it is published via :func:`register_context` *before* the pool
+forks, so every worker inherits it copy-on-write through ``fork``.
+
+Fallback
+--------
+
+The engine degrades to in-process serial execution of the same task
+functions when ``workers <= 1``, when the platform lacks the ``fork``
+start method, when the pool fails its start-up ping, or after any
+worker dies mid-run.  ``engine.active`` reports which mode is live.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import KernelError
+from ..obs.tracer import NULL_TRACER
+
+__all__ = [
+    "ParallelEngine",
+    "SERIAL_ENGINE",
+    "WorkerStats",
+    "available_cores",
+    "register_context",
+    "get_context",
+    "worker_track",
+]
+
+#: Seconds the driver waits for a single task result before declaring
+#: the pool dead and finishing the call serially.
+RESULT_TIMEOUT = 120.0
+
+#: Seconds allowed for the start-up ping that proves the pool works.
+PING_TIMEOUT = 30.0
+
+#: Read-only objects published to workers.  Entries registered before a
+#: pool starts are inherited by its forked workers copy-on-write;
+#: lookups in the driver (serial fallback) read the same dict.
+_CONTEXT: dict[str, object] = {}
+
+
+def available_cores() -> int:
+    """Usable core count (cgroup-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def worker_track(worker: int) -> str:
+    """Canonical trace-track name for pool worker ``worker``."""
+    return f"worker/{worker}"
+
+
+def register_context(key: str, obj: object) -> str:
+    """Publish a read-only object to (future) workers under ``key``.
+
+    Must be called *before* the engine that needs it starts its pool —
+    forked workers snapshot the registry at fork time.  Returns the key
+    for convenience.
+    """
+    _CONTEXT[key] = obj
+    return key
+
+
+def get_context(key: str) -> object:
+    """Fetch a registered context object (driver or worker side)."""
+    try:
+        return _CONTEXT[key]
+    except KeyError:
+        raise KernelError(
+            f"parallel context {key!r} was not registered before the pool "
+            "forked; register_context must run before ParallelEngine()"
+        ) from None
+
+
+def unregister_context(key: str) -> None:
+    """Drop a registered context object (driver side only)."""
+    _CONTEXT.pop(key, None)
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker tallies maintained by the driver."""
+
+    worker: int
+    tasks: int = 0
+    busy_seconds: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    errors: int = 0
+
+
+@dataclass
+class _Block:
+    """One shared-memory block plus its current capacity."""
+
+    shm: shared_memory.SharedMemory
+    capacity: int
+
+    def close(self, unlink: bool) -> None:
+        try:
+            self.shm.close()
+            if unlink:
+                self.shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+
+def _pack(block: _Block | None, arrays: tuple, make) -> tuple[_Block, tuple]:
+    """Copy ``arrays`` into a (possibly grown) block; return descriptors.
+
+    The layout is a flat concatenation at 64-byte-aligned offsets; the
+    descriptor carries (offset, shape, dtype) per array so the peer can
+    rebuild zero-copy views.
+    """
+    offsets, metas, need = [], [], 0
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        need = (need + 63) & ~63
+        offsets.append(need)
+        metas.append((need, a.shape, a.dtype.str))
+        need += a.nbytes
+    if block is None or block.capacity < need:
+        if block is not None:
+            block.close(unlink=True)
+        block = make(max(need, 1))
+    for a, off in zip(arrays, offsets):
+        a = np.ascontiguousarray(a)
+        dst = np.ndarray(a.shape, dtype=a.dtype, buffer=block.shm.buf, offset=off)
+        dst[...] = a
+    return block, (block.shm.name, tuple(metas))
+
+
+def _unpack(shm: shared_memory.SharedMemory, metas: tuple) -> tuple[np.ndarray, ...]:
+    """Zero-copy views into a peer's block (copy before the next reuse!)."""
+    return tuple(
+        np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+        for off, shape, dt in metas
+    )
+
+
+def _ping_task(meta: dict, arr: np.ndarray) -> tuple[np.ndarray]:
+    """Start-up health check: echo the payload."""
+    return (arr + meta.get("add", 0.0),)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Pool worker loop: attach inputs, compute, send results back.
+
+    Inputs arrive through the driver-owned shared-memory blocks;
+    results (whose shapes only the task function knows) return through
+    the result queue.  The driver's per-task input block is not reused
+    until the driver has collected this task's result, so reading from
+    the attached views is race-free.
+    """
+    attached: dict[str, shared_memory.SharedMemory] = {}
+    try:
+        while True:
+            item = task_q.get()
+            if item is None:
+                break
+            idx, fn, meta, in_desc = item
+            t0 = time.perf_counter()
+            try:
+                ins: tuple = ()
+                if in_desc is not None:
+                    name, metas = in_desc
+                    shm = attached.get(name)
+                    if shm is None:
+                        # Forked workers share the driver's resource
+                        # tracker, whose cache is a set — this attach-
+                        # side registration is a no-op and the driver's
+                        # unlink-on-close retires the name exactly once.
+                        shm = shared_memory.SharedMemory(name=name)
+                        attached[name] = shm
+                    ins = _unpack(shm, metas)
+                outs = fn(meta, *ins)
+                if not isinstance(outs, (tuple, list)):
+                    outs = (outs,)
+                outs = tuple(np.ascontiguousarray(o) for o in outs)
+                result_q.put(
+                    (idx, worker_id, "ok", outs, t0, time.perf_counter(),
+                     getattr(fn, "__name__", str(fn)))
+                )
+            except BaseException:
+                result_q.put(
+                    (idx, worker_id, "err", traceback.format_exc(), t0,
+                     time.perf_counter(), getattr(fn, "__name__", str(fn)))
+                )
+    finally:
+        for shm in attached.values():
+            try:
+                shm.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+
+class ParallelEngine:
+    """A persistent multi-core task pool with a serial twin.
+
+    Parameters
+    ----------
+    workers:
+        Requested worker count.  ``<= 1`` means serial execution (no
+        processes are ever started).
+    validate:
+        When true, every parallel ``run`` is recomputed serially on the
+        driver and compared **bitwise** — the ``repro.parallel``
+        mirror of the batched/looped 1e-12 dispatch check
+        (:func:`repro.backends.functional_exec.cross_validate_paths`).
+        Costs a full serial execution per call; meant for tests, CI
+        smoke jobs, and paranoid runs.
+    tracer:
+        :mod:`repro.obs` tracer.  When enabled, each task becomes a
+        span on the ``worker/<i>`` track of the worker that ran it,
+        stamped in wall-clock seconds since the engine started (these
+        are *real* execution spans — the one place the observability
+        layer shows wall time rather than simulated time).
+    label:
+        Name used in log lines and trace spans.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        validate: bool = False,
+        tracer=None,
+        label: str = "parallel",
+    ) -> None:
+        self.workers = max(0, int(workers))
+        self.validate = bool(validate)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.label = label
+        self.active = False
+        self.fallback_reason: str | None = None
+        self.stats: list[WorkerStats] = []
+        self.calls = 0
+        self.tasks_parallel = 0
+        self.tasks_serial = 0
+        self.validations = 0
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._in_blocks: dict[int, _Block] = {}
+        self._t0 = time.perf_counter()
+        if self.workers > 1:
+            self._try_start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _try_start(self) -> None:
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            self.fallback_reason = "no fork start method on this platform"
+            return
+        ctx = mp.get_context("fork")
+        try:
+            # The resource tracker must exist *before* the fork so parent
+            # and workers share one tracker (whose cache is a set, making
+            # the workers' attach-side registrations no-ops).  Otherwise
+            # each worker lazily spawns its own tracker, which warns about
+            # "leaked" blocks the driver already unlinked.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+            self._task_q = ctx.SimpleQueue()
+            self._result_q = ctx.SimpleQueue()
+            self._procs = [
+                ctx.Process(
+                    target=_worker_main,
+                    args=(w, self._task_q, self._result_q),
+                    daemon=True,
+                    name=f"{self.label}-worker-{w}",
+                )
+                for w in range(self.workers)
+            ]
+            for p in self._procs:
+                p.start()
+            self.stats = [WorkerStats(w) for w in range(self.workers)]
+            self.active = True
+            self._ping()
+        except Exception as exc:  # noqa: BLE001 - any start-up failure => serial
+            self.fallback_reason = f"pool start failed: {exc!r}"
+            self._shutdown_pool()
+            self.active = False
+
+    def _ping(self) -> None:
+        """Prove every queue direction works before trusting the pool."""
+        probe = np.arange(4.0)
+        outs = self._run_parallel(
+            _ping_task, [({"add": 1.0}, (probe,))] * self.workers,
+            timeout=PING_TIMEOUT,
+        )
+        for (out,) in outs:
+            if not np.array_equal(out, probe + 1.0):
+                raise KernelError("parallel pool ping returned wrong data")
+
+    def close(self) -> None:
+        """Stop the workers and release every shared-memory block."""
+        self._shutdown_pool()
+        self.active = False
+
+    def _shutdown_pool(self) -> None:
+        if self._task_q is not None:
+            try:
+                for _ in self._procs:
+                    self._task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        self._procs = []
+        for blk in self._in_blocks.values():
+            blk.close(unlink=True)
+        self._in_blocks.clear()
+        self._task_q = None
+        self._result_q = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort tidy-up
+        try:
+            self._shutdown_pool()
+        except Exception:  # noqa: BLE001 - interpreter may be tearing down
+            pass
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, fn, payloads: list[tuple[dict, tuple]]) -> list[tuple]:
+        """Execute ``fn(meta, *arrays)`` per payload; results in order.
+
+        ``payloads`` is a list of ``(meta, arrays)`` with ``meta`` a
+        small picklable dict and ``arrays`` a tuple of ndarrays shipped
+        through shared memory.  Returns one tuple of arrays per
+        payload, in payload order (the deterministic combine).
+        """
+        self.calls += 1
+        if not payloads:
+            return []
+        if not self.active:
+            return self._run_serial(fn, payloads)
+        try:
+            results = self._run_parallel(fn, payloads, timeout=RESULT_TIMEOUT)
+        except KernelError as exc:
+            if "task failed" in str(exc):
+                raise  # a *task* error is the caller's bug, not pool health
+            # Pool died (timeout, closed pipe): degrade and finish serially.
+            self.fallback_reason = str(exc)
+            self._shutdown_pool()
+            self.active = False
+            return self._run_serial(fn, payloads)
+        if self.validate:
+            self._cross_validate(fn, payloads, results)
+        return results
+
+    def _run_serial(self, fn, payloads) -> list[tuple]:
+        self.tasks_serial += len(payloads)
+        out = []
+        for meta, arrays in payloads:
+            res = fn(meta, *arrays)
+            if not isinstance(res, (tuple, list)):
+                res = (res,)
+            out.append(tuple(np.asarray(a) for a in res))
+        return out
+
+    def _run_parallel(self, fn, payloads, timeout: float) -> list[tuple]:
+        for idx, (meta, arrays) in enumerate(payloads):
+            desc = None
+            if arrays:
+                block = self._in_blocks.get(idx)
+
+                def make_in(capacity: int) -> _Block:
+                    return _Block(
+                        shared_memory.SharedMemory(create=True, size=capacity),
+                        capacity,
+                    )
+
+                block, desc = _pack(block, tuple(arrays), make_in)
+                self._in_blocks[idx] = block
+            try:
+                self._task_q.put((idx, fn, meta, desc))
+            except Exception as exc:  # noqa: BLE001
+                raise KernelError(f"parallel dispatch failed: {exc!r}") from exc
+        results: list[tuple | None] = [None] * len(payloads)
+        failures: list[str] = []
+        deadline = time.monotonic() + timeout
+        for _ in range(len(payloads)):
+            remaining = deadline - time.monotonic()
+            item = self._result_get(remaining)
+            idx, worker_id, status, data, t0, t1, fn_name = item
+            st = self.stats[worker_id]
+            st.tasks += 1
+            st.busy_seconds += max(0.0, t1 - t0)
+            if status == "err":
+                st.errors += 1
+                failures.append(f"task {idx} on worker {worker_id}:\n{data}")
+                continue
+            results[idx] = tuple(data)
+            st.bytes_out += sum(a.nbytes for a in data)
+            meta_in = payloads[idx][0]
+            st.bytes_in += sum(np.asarray(a).nbytes for a in payloads[idx][1])
+            self.tasks_parallel += 1
+            if self.tracer.enabled:
+                self.tracer.span_at(
+                    worker_track(worker_id), fn_name,
+                    t0 - self._t0, t1 - self._t0, cat="parallel",
+                    task=idx, **{k: v for k, v in meta_in.items()
+                                 if isinstance(v, (int, float, str, bool))},
+                )
+        if failures:
+            raise KernelError(
+                "parallel task failed:\n" + "\n".join(failures)
+            )
+        return results  # type: ignore[return-value]
+
+    def _result_get(self, remaining: float):
+        """Result-queue get with a liveness-aware timeout."""
+        import select
+
+        if remaining <= 0:
+            raise KernelError(f"parallel pool timed out ({self.label})")
+        reader = self._result_q._reader  # SimpleQueue's underlying pipe
+        ready, _, _ = select.select([reader], [], [], remaining)
+        if not ready:
+            raise KernelError(
+                f"parallel pool timed out after {RESULT_TIMEOUT:.0f}s "
+                f"({self.label}); falling back to serial"
+            )
+        return self._result_q.get()
+
+    # -- validation ---------------------------------------------------------
+
+    def _cross_validate(self, fn, payloads, results) -> None:
+        """Bitwise-compare parallel results against a serial recompute."""
+        self.validations += 1
+        serial = self._run_serial(fn, payloads)
+        self.tasks_serial -= len(payloads)  # recompute is bookkeeping-neutral
+        for idx, (par, ser) in enumerate(zip(results, serial)):
+            for k, (a, b) in enumerate(zip(par, ser)):
+                if not np.array_equal(a, b):
+                    scale = max(float(np.max(np.abs(b))), 1e-300)
+                    err = float(np.max(np.abs(a - b))) / scale
+                    raise KernelError(
+                        f"parallel/serial cross-validation failed for "
+                        f"{getattr(fn, '__name__', fn)} task {idx} output {k}: "
+                        f"max rel err {err:.3e} (required: bitwise identical)"
+                    )
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-friendly status snapshot (mode, fallback reason, tallies)."""
+        return {
+            "workers": self.workers,
+            "active": self.active,
+            "fallback_reason": self.fallback_reason,
+            "calls": self.calls,
+            "tasks_parallel": self.tasks_parallel,
+            "tasks_serial": self.tasks_serial,
+            "validations": self.validations,
+            "per_worker": [
+                {"worker": s.worker, "tasks": s.tasks,
+                 "busy_seconds": s.busy_seconds, "bytes_in": s.bytes_in,
+                 "bytes_out": s.bytes_out, "errors": s.errors}
+                for s in self.stats
+            ],
+        }
+
+
+#: The shared always-serial engine: the default everywhere a
+#: ``workers=`` knob is absent or 0 — zero processes, zero overhead.
+SERIAL_ENGINE = ParallelEngine(workers=0, label="serial")

@@ -112,13 +112,16 @@ class TestSimMPI:
         with pytest.raises(SimMPIError):
             mpi.wait(mpi.irecv(1, 0))
 
-    def test_double_wait_raises(self):
+    def test_double_wait_is_idempotent(self):
+        # waitall's contract: a completed request re-waited is a no-op
+        # that re-returns its payload without touching clocks/mailbox.
         mpi = SimMPI(2)
-        mpi.isend(0, 1, np.zeros(1))
+        mpi.isend(0, 1, np.array([5.0]))
         req = mpi.irecv(1, 0)
-        mpi.wait(req)
-        with pytest.raises(SimMPIError):
-            mpi.wait(req)
+        first = mpi.wait(req)
+        assert mpi.wait(req) is first
+        assert mpi.pending_messages() == 0
+        mpi.finalize()
 
     def test_unknown_rank_rejected(self):
         mpi = SimMPI(2)

@@ -1,0 +1,212 @@
+"""Tests for ``repro.parallel``: the real multi-core execution engine.
+
+The contract under test (DESIGN.md §10): workers compute independent
+units, every combine happens on the driver in fixed rank/chunk order,
+and therefore parallel execution is **bitwise identical** to serial —
+on the engine's raw task interface, on the chunked HOMME kernels, and
+on whole distributed-model trajectories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import KernelError
+from repro.homme.distributed import (
+    DistributedPrimitiveEquations,
+    DistributedShallowWater,
+)
+from repro.homme.element import ElementGeometry, ElementState
+from repro.mesh.cubed_sphere import CubedSphereMesh
+from repro.obs import MetricsRegistry, Tracer, collect_parallel_engine
+from repro.parallel import (
+    SERIAL_ENGINE,
+    ParallelEngine,
+    available_cores,
+    cross_validate_parallel,
+    parallel_homme_execution,
+    worker_track,
+)
+from repro.parallel.engine import _ping_task
+
+
+def _boom_task(meta, arr):
+    raise RuntimeError("intentional task failure")
+
+
+def _noisy_prim_state(ne=4, nlev=8, qsize=2, seed=7):
+    mesh = CubedSphereMesh(ne, 4)
+    geom = ElementGeometry(mesh)
+    cfg = ModelConfig(ne=ne, nlev=nlev, qsize=qsize)
+    state = ElementState.isothermal_rest(geom, cfg)
+    rng = np.random.default_rng(seed)
+    state.v += 1e-5 * rng.standard_normal(state.v.shape)
+    state.T += rng.standard_normal(state.T.shape)
+    state.qdp[:] = (0.5 + rng.random(state.qdp.shape)) * state.dp3d[:, None]
+    return cfg, mesh, geom, state
+
+
+class TestEngineBasics:
+    def test_available_cores_positive(self):
+        assert available_cores() >= 1
+
+    def test_worker_track_names(self):
+        assert worker_track(3) == "worker/3"
+
+    def test_serial_engine_never_starts_processes(self):
+        assert SERIAL_ENGINE.workers == 0
+        assert not SERIAL_ENGINE.active
+        outs = SERIAL_ENGINE.run(
+            _ping_task, [({"add": 2.0}, (np.arange(3.0),))]
+        )
+        assert np.array_equal(outs[0][0], np.arange(3.0) + 2.0)
+
+    def test_results_in_payload_order(self):
+        with ParallelEngine(workers=2) as e:
+            assert e.active, e.fallback_reason
+            for _ in range(3):  # block reuse across calls
+                outs = e.run(_ping_task, [
+                    ({"add": float(i)}, (np.arange(5.0),)) for i in range(7)
+                ])
+                for i, (out,) in enumerate(outs):
+                    assert np.array_equal(out, np.arange(5.0) + i)
+
+    def test_task_error_propagates(self):
+        with ParallelEngine(workers=2) as e:
+            with pytest.raises(KernelError, match="intentional task failure"):
+                e.run(_boom_task, [({}, (np.arange(3.0),))])
+            assert e.active  # a task bug is not pool death
+
+    def test_pool_start_failure_falls_back_to_serial(self, monkeypatch):
+        def broken_ping(self):
+            raise KernelError("simulated startup failure")
+
+        monkeypatch.setattr(ParallelEngine, "_ping", broken_ping)
+        e = ParallelEngine(workers=2)
+        assert not e.active
+        assert "startup failure" in e.fallback_reason
+        outs = e.run(_ping_task, [({"add": 1.0}, (np.arange(4.0),))])
+        assert np.array_equal(outs[0][0], np.arange(4.0) + 1.0)
+        e.close()
+
+    def test_validate_flag_recomputes_and_passes(self):
+        with ParallelEngine(workers=2, validate=True) as e:
+            e.run(_ping_task, [({"add": 0.5}, (np.arange(6.0),))])
+            assert e.validations == 1
+
+    def test_close_is_idempotent_and_describe_reports(self):
+        e = ParallelEngine(workers=2)
+        desc = e.describe()
+        assert desc["workers"] == 2 and desc["active"]
+        assert len(desc["per_worker"]) == 2
+        e.close()
+        e.close()
+        assert not e.active
+
+
+class TestChunkedKernels:
+    def test_cross_validate_parallel_is_bitwise(self):
+        _, _, geom, state = _noisy_prim_state()
+        errs = cross_validate_parallel(state, geom, workers=2)
+        assert errs and max(errs.values()) == 0.0
+
+    def test_parallel_homme_execution_shapes(self):
+        _, _, geom, state = _noisy_prim_state()
+        ex, kernels = parallel_homme_execution(geom, workers=2)
+        try:
+            dv, dT, ddp = ex.compute_rhs(state, geom)
+            assert dv.shape == state.v.shape
+            assert dT.shape == state.T.shape
+            assert ddp.shape == state.dp3d.shape
+            lap = ex.laplace_wk(state.T, geom)
+            assert lap.shape == state.T.shape
+        finally:
+            kernels.close()
+
+
+class TestDistributedBitwise:
+    def test_sw_ne8_workers2_matches_serial_bitwise(self):
+        """Acceptance criterion: ne8 shallow water, parallel == serial
+        to the last bit (validate=True additionally asserts it on every
+        pool dispatch)."""
+        mesh = CubedSphereMesh(8, 4)
+        with DistributedShallowWater(mesh, nranks=4) as ser, \
+                DistributedShallowWater(mesh, nranks=4, workers=2,
+                                        validate=True) as par:
+            ser.run_steps(2)
+            par.run_steps(2)
+            gs, gp = ser.gather_state(), par.gather_state()
+            assert np.array_equal(gs.h, gp.h)
+            assert np.array_equal(gs.v, gp.v)
+            # Simulated clocks are the timing model either way.
+            assert ser.max_rank_time() == par.max_rank_time()
+            if par.engine.active:
+                assert par.engine.tasks_parallel > 0
+
+    def test_prim_ne4_workers2_matches_serial_bitwise(self):
+        """Acceptance criterion: ne4 primitive equations, parallel ==
+        serial to the last bit across all prognostic fields."""
+        cfg, mesh, _, state = _noisy_prim_state()
+        with DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0) as ser, \
+            DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0, workers=2,
+                validate=True) as par:
+            ser.run_steps(2)
+            par.run_steps(2)
+            gs, gp = ser.gather_state(), par.gather_state()
+            for f in ("v", "T", "dp3d", "qdp"):
+                assert np.array_equal(getattr(gs, f), getattr(gp, f)), f
+            assert ser.max_rank_time() == par.max_rank_time()
+
+    def test_prim_snapshot_restore_under_parallel_engine(self):
+        """Satellite: snapshot()/restore_snapshot() round-trip with
+        workers=2 reproduces the serial trajectory bitwise — including
+        across the rsplit remap boundary."""
+        cfg, mesh, _, state = _noisy_prim_state()
+        with DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0) as ser, \
+            DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0, workers=2) as par:
+            ser.run_steps(4)
+            par.run_steps(1)
+            snap = par.snapshot()
+            par.run_steps(1)  # diverge past the snapshot...
+            par.restore_snapshot(snap)  # ...and rewind
+            par.run_steps(3)
+            gs, gp = ser.gather_state(), par.gather_state()
+            for f in ("v", "T", "dp3d", "qdp"):
+                assert np.array_equal(getattr(gs, f), getattr(gp, f)), f
+
+    def test_serial_workers_knob_is_default_path(self):
+        mesh = CubedSphereMesh(4, 4)
+        with DistributedShallowWater(mesh, nranks=2) as m:
+            assert m.engine is SERIAL_ENGINE
+            m.step()
+
+
+class TestObservability:
+    def test_metrics_collected_per_worker(self):
+        with ParallelEngine(workers=2) as e:
+            e.run(_ping_task, [({"add": 1.0}, (np.arange(8.0),))] * 4)
+            was_active = e.active
+            reg = collect_parallel_engine(MetricsRegistry("par"), e)
+        assert reg.value("parallel.workers") == 2
+        assert reg.value("parallel.tasks.parallel") == e.tasks_parallel
+        total = sum(
+            reg.value(f"parallel.worker.{w}.tasks") for w in range(2)
+        )
+        assert total >= 4  # ping tasks included
+        assert reg.value("parallel.active") == (1.0 if was_active else 0.0)
+
+    def test_worker_spans_land_on_worker_tracks(self):
+        tracer = Tracer("parallel-test")
+        e = ParallelEngine(workers=2, tracer=tracer)
+        try:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            e.run(_ping_task, [({"add": 1.0}, (np.arange(4.0),))] * 3)
+            tracks = {ev.track for ev in tracer.recorder.events}
+            assert tracks & {worker_track(0), worker_track(1)}
+        finally:
+            e.close()

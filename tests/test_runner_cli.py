@@ -36,8 +36,15 @@ class TestRunnerCLI:
     def test_driver_registry_complete(self):
         assert set(DRIVERS) == {
             "table1", "figure5", "figure6", "figure7", "figure8",
-            "table3", "figure4", "figure9",
+            "table3", "figure4", "figure9", "parallel",
         }
+
+    def test_parallel_smoke_driver(self, capsys):
+        rc = main(["parallel", "--quick", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bitwise" in out
+        assert "ALL SHAPE CHECKS PASS" in out
 
     def test_logdir_writes_structured_jsonl(self, capsys, tmp_path):
         import json
