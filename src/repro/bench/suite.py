@@ -35,6 +35,7 @@ SPEEDUP_FLOORS = {
     "sw_rk_step.ne8.speedup": 3.0,
     "prim_rhs.ne4.speedup": 2.0,
     "dist_sw_step.ne8.parallel_speedup": 1.3,
+    "dist_sw_step.ne8.pipelined_speedup": 1.15,
 }
 
 #: Worker count for the parallel-vs-serial distributed section; the
@@ -128,11 +129,20 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             f"needs {PARALLEL_BENCH_WORKERS} cores for the parallel-vs-serial "
             f"section, machine has {cores}"
         )
+        skipped["dist_sw_step.ne8.pipelined_speedup"] = (
+            f"pipelined-vs-parallel floor needs {PARALLEL_BENCH_WORKERS} "
+            f"cores, machine has {cores}"
+        )
     else:
         dist_repeats = min(repeats, 5)  # a distributed step is ~100x a kernel
-        for variant, nworkers in (("serial", 0), ("parallel", PARALLEL_BENCH_WORKERS)):
+        for variant, nworkers, pipe in (
+            ("serial", 0, False),
+            ("parallel", PARALLEL_BENCH_WORKERS, False),
+            ("pipelined", PARALLEL_BENCH_WORKERS, True),
+        ):
             model = DistributedShallowWater(
-                mesh8, nranks=PARALLEL_BENCH_WORKERS, workers=nworkers
+                mesh8, nranks=PARALLEL_BENCH_WORKERS, workers=nworkers,
+                pipeline=pipe,
             )
             snap = model.snapshot()
             secs = time_wall(
@@ -143,7 +153,8 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
                 name=f"dist_sw_step.ne8.{variant}", clock="wall", seconds=secs,
                 repeats=dist_repeats,
                 meta={"ne": 8, "nranks": PARALLEL_BENCH_WORKERS,
-                      "workers": nworkers, "kernel": "distributed SW step",
+                      "workers": nworkers, "pipeline": pipe,
+                      "kernel": "distributed SW step",
                       "pool_active": bool(model.engine.active),
                       "gated": False},
             ))
@@ -177,11 +188,24 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             derived[f"{group}.speedup"] = a.seconds / b.seconds
     ser = by_name.get("dist_sw_step.ne8.serial")
     par = by_name.get("dist_sw_step.ne8.parallel")
+    pipe = by_name.get("dist_sw_step.ne8.pipelined")
     if ser is not None and par is not None:
         if par.meta.get("pool_active"):
             derived["dist_sw_step.ne8.parallel_speedup"] = ser.seconds / par.seconds
         else:
             skipped["dist_sw_step.ne8.parallel_speedup"] = (
+                "worker pool fell back to serial; speedup floor not applicable"
+            )
+    # The pipelined floor is *relative to the synchronous parallel run*:
+    # overlapping driver combines with worker compute must buy >= 1.15x
+    # on top of the plain fan-out, not just beat serial.
+    if par is not None and pipe is not None:
+        if par.meta.get("pool_active") and pipe.meta.get("pool_active"):
+            derived["dist_sw_step.ne8.pipelined_speedup"] = (
+                par.seconds / pipe.seconds
+            )
+        else:
+            skipped["dist_sw_step.ne8.pipelined_speedup"] = (
                 "worker pool fell back to serial; speedup floor not applicable"
             )
 

@@ -8,7 +8,9 @@ primitive-equation models serially and through the
 
 - parallel trajectories are **bitwise identical** to serial;
 - the simulated clocks agree exactly (SimMPI stays the timing model);
-- when the pool starts, work is actually dispatched to workers.
+- when the pool starts, work is actually dispatched to workers;
+- the pipelined mode (DESIGN.md Section 11) keeps both guarantees
+  while overlapping driver combines with worker compute.
 
 The "paper" column holds the contract's expected values (all boolean),
 so a MISS here means the determinism rule broke, not that a scale-down
@@ -72,6 +74,28 @@ def run_parallel_smoke(
         if verbose and not par.engine.active:
             print(f"  note: pool fell back to serial "
                   f"({par.engine.fallback_reason})")
+
+        # Pipelined mode: boundary/inner split dispatch with driver
+        # combines overlapped against worker compute — same bits, same
+        # simulated clocks (DESIGN.md Section 11).
+        with DistributedShallowWater(mesh8, nranks=4, workers=workers,
+                                     validate=True, pipeline=True) as pip:
+            pip.run_steps(steps)
+            gq = pip.gather_state()
+            pipe_same = (np.array_equal(gs.h, gq.h)
+                         and np.array_equal(gs.v, gq.v))
+            table.add("sw ne8 pipelined bitwise (h,v)", 1.0,
+                      1.0 if pipe_same else 0.0, "boolean", 0.0)
+            table.add("sw ne8 pipelined simulated clocks equal", 1.0,
+                      1.0 if ser.max_rank_time() == pip.max_rank_time()
+                      else 0.0, "boolean", 0.0)
+            pipe_ok = (not pip.engine.active) or pip.engine.pipeline_batches > 0
+            table.add("pipeline overlapped batches (or clean fallback)", 1.0,
+                      1.0 if pipe_ok else 0.0, "boolean", 0.0)
+            if verbose and pip.engine.active:
+                print(f"  pipeline: {pip.engine.pipeline_batches} overlapped "
+                      f"batches, overlap fraction "
+                      f"{pip.engine.overlap_fraction():.2f}")
 
     cfg, mesh4, state = _prim_state(ne=4)
     with DistributedPrimitiveEquations(cfg, mesh4, state, nranks=4,

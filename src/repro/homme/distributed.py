@@ -29,8 +29,10 @@ from ..parallel.dycore import (
     prim_euler_stage1_task,
     prim_euler_stage2_task,
     prim_laplace_task,
+    prim_laplace_wk_task,
     prim_limit_task,
     prim_stage_task,
+    prim_vlaplace_task,
     sw_stage_task,
 )
 from ..parallel.engine import (
@@ -44,19 +46,42 @@ from .element import ElementGeometry
 from .shallow_water import SWState, williamson2_initial
 
 
-def _make_engine(model, workers: int, validate: bool, label: str):
-    """Shared ``workers=`` plumbing for the distributed models.
+def _make_engine(model, workers: int, validate: bool, label: str,
+                 pipeline: bool = False):
+    """Shared ``workers=``/``pipeline=`` plumbing for the distributed models.
 
     Registers the per-rank geometries in the fork-inherited context
     registry (warming the memoized tensor caches first, so workers
     inherit them copy-on-write), then starts the pool — or hands back
     the shared always-serial engine for ``workers <= 1``.
+
+    ``pipeline=True`` additionally registers the *split* per-rank
+    geometries (slot ``2r`` = rank ``r``'s boundary elements, ``2r+1``
+    = its inner elements; ``None`` for an empty subset) that the
+    pipelined stage fanout dispatches as separate worker batches.
     """
     model.workers = max(0, int(workers))
     model.validate = bool(validate)
+    model.pipeline = bool(pipeline)
     for g in model.geoms:
         g.tensors  # noqa: B018 - warm the cache before the pool forks
     model._ctx_key = register_context(fresh_context_key(label), model.geoms)
+    model._pipe_ctx_key = None
+    if model.pipeline:
+        pipe_geoms: list[ElementGeometry | None] = []
+        for r in range(model.nranks):
+            els = model.part.rank_elements(r)
+            for ix in (model.hx.local_boundary_idx[r],
+                       model.hx.local_inner_idx[r]):
+                if len(ix) == 0:
+                    pipe_geoms.append(None)
+                    continue
+                g = ElementGeometry(model.mesh, els[ix])
+                g.tensors  # noqa: B018 - warm before the fork
+                pipe_geoms.append(g)
+        model._pipe_ctx_key = register_context(
+            fresh_context_key(label + "-pipe"), pipe_geoms
+        )
     if model.workers > 1:
         model.engine = ParallelEngine(
             workers=model.workers, validate=model.validate,
@@ -64,6 +89,54 @@ def _make_engine(model, workers: int, validate: bool, label: str):
         )
     else:
         model.engine = SERIAL_ENGINE
+
+
+def _pipeline_active(model) -> bool:
+    """Pipelined dispatch is only meaningful on a live pool."""
+    return bool(model.pipeline) and model.engine.active
+
+
+def _pipelined_fanout(model, task, meta_extra: dict,
+                      per_rank_arrays: list[tuple], nout: int) -> list[tuple]:
+    """Boundary-first split dispatch of one per-rank stage (DESIGN.md §11).
+
+    Splits every rank's element stack into its boundary and inner rows,
+    submits the boundary batch first and the inner batch immediately
+    after (into the other shared-memory bank), then collects the
+    boundary results and reassembles them **while the workers compute
+    the inner batch** — the driver-side combine of batch *k* overlapped
+    with worker compute of batch *k+1*.  Reassembly is a pure scatter
+    by precomputed indices, and every combine below (DSS, allreduce)
+    still runs on the driver in fixed rank order, so the result is
+    bitwise identical to the synchronous full-stack dispatch.
+
+    Returns one tuple of ``nout`` full per-rank arrays per rank.
+    """
+    hx = model.hx
+    pends = []
+    for part_i, idx_of in ((0, hx.local_boundary_idx),
+                           (1, hx.local_inner_idx)):
+        payloads, owners = [], []
+        for r in range(model.nranks):
+            ix = idx_of[r]
+            if len(ix) == 0:
+                continue
+            meta = {"ctx": model._pipe_ctx_key, "rank": 2 * r + part_i,
+                    **meta_extra}
+            payloads.append((meta, tuple(a[ix] for a in per_rank_arrays[r])))
+            owners.append(r)
+        pends.append((model.engine.submit(task, payloads), owners, idx_of))
+    outs: list[list] = [[None] * nout for _ in range(model.nranks)]
+    for pend, owners, idx_of in pends:
+        results = pend.wait()
+        for r, res in zip(owners, results):
+            ix = idx_of[r]
+            for k in range(nout):
+                if outs[r][k] is None:
+                    shape = ((len(hx.rank_elems[r]),) + res[k].shape[1:])
+                    outs[r][k] = np.empty(shape, dtype=res[k].dtype)
+                outs[r][k][ix] = res[k]
+    return [tuple(o) for o in outs]
 
 
 class DistributedShallowWater:
@@ -75,6 +148,12 @@ class DistributedShallowWater:
     bitwise identical to ``workers=0`` (``validate=True`` asserts this
     on every pool dispatch).  Simulated clocks are unaffected either
     way — SimMPI remains the timing model.
+
+    ``pipeline=True`` additionally splits each rank's elements into
+    boundary and inner batches and overlaps the driver-side combines
+    with worker compute (:func:`_pipelined_fanout`); results stay
+    bitwise identical and the simulated clocks are untouched — only
+    wall time changes.
     """
 
     def __init__(
@@ -88,6 +167,7 @@ class DistributedShallowWater:
         tracer=None,
         workers: int = 0,
         validate: bool = False,
+        pipeline: bool = False,
     ) -> None:
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
@@ -101,7 +181,7 @@ class DistributedShallowWater:
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
-        _make_engine(self, workers, validate, "dist-sw")
+        _make_engine(self, workers, validate, "dist-sw", pipeline=pipeline)
         init = williamson2_initial(mesh)
         self.states = [
             SWState(
@@ -165,11 +245,19 @@ class DistributedShallowWater:
     def _stage(self, bases: list[SWState], points: list[SWState], dt: float,
                stage: int = 0) -> list[SWState]:
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        outs = self.engine.run(sw_stage_task, [
-            ({"ctx": self._ctx_key, "rank": r, "dt": dt},
-             (bases[r].h, bases[r].v, points[r].h, points[r].v))
-            for r in range(self.nranks)
-        ])
+        if _pipeline_active(self):
+            outs = _pipelined_fanout(
+                self, sw_stage_task, {"dt": dt},
+                [(bases[r].h, bases[r].v, points[r].h, points[r].v)
+                 for r in range(self.nranks)],
+                nout=2,
+            )
+        else:
+            outs = self.engine.run(sw_stage_task, [
+                ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+                 (bases[r].h, bases[r].v, points[r].h, points[r].v))
+                for r in range(self.nranks)
+            ])
         hs = self._dss_scalar([o[0] for o in outs], stage, slot=0)
         vs = self._dss_vector([o[1] for o in outs], stage, slot=1)
         if self.tracer.enabled:
@@ -205,6 +293,8 @@ class DistributedShallowWater:
         if self.engine is not SERIAL_ENGINE:
             self.engine.close()
         unregister_context(self._ctx_key)
+        if self._pipe_ctx_key is not None:
+            unregister_context(self._pipe_ctx_key)
 
     def __enter__(self) -> "DistributedShallowWater":
         return self
@@ -280,6 +370,13 @@ class DistributedPrimitiveEquations:
     :mod:`repro.parallel.dycore`); all DSS and allreduce combines stay
     on the driver in fixed rank order, so the trajectory is bitwise
     identical to ``workers=0``.
+
+    ``pipeline=True`` (with a live pool) overlaps driver-side combines
+    with worker compute: the RK stages use the boundary-first split
+    dispatch of :func:`_pipelined_fanout`, and hyperviscosity runs a
+    per-field depth-2 software pipeline (the DSS of field *f* overlaps
+    the laplacian of field *f+1*).  DSS calls keep their slot order, so
+    both the trajectory and the simulated clocks are bitwise unchanged.
     """
 
     def __init__(
@@ -294,6 +391,7 @@ class DistributedPrimitiveEquations:
         tracer=None,
         workers: int = 0,
         validate: bool = False,
+        pipeline: bool = False,
     ) -> None:
         from ..homme.hypervis import nu_for_ne
 
@@ -324,7 +422,7 @@ class DistributedPrimitiveEquations:
         self.t = 0.0
         self.step_count = 0
         self._epoch = 0
-        _make_engine(self, workers, validate, "dist-prim")
+        _make_engine(self, workers, validate, "dist-prim", pipeline=pipeline)
 
     # -- distributed DSS over level-carrying fields --------------------------------
 
@@ -373,12 +471,21 @@ class DistributedPrimitiveEquations:
 
     def _rk_stage(self, bases, points, dt, stage=0):
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        outs = self.engine.run(prim_stage_task, [
-            ({"ctx": self._ctx_key, "rank": r, "dt": dt},
-             (bases[r].v, bases[r].T, bases[r].dp3d,
-              points[r].v, points[r].T, points[r].dp3d))
-            for r in range(self.nranks)
-        ])
+        if _pipeline_active(self):
+            outs = _pipelined_fanout(
+                self, prim_stage_task, {"dt": dt},
+                [(bases[r].v, bases[r].T, bases[r].dp3d,
+                  points[r].v, points[r].T, points[r].dp3d)
+                 for r in range(self.nranks)],
+                nout=3,
+            )
+        else:
+            outs = self.engine.run(prim_stage_task, [
+                ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+                 (bases[r].v, bases[r].T, bases[r].dp3d,
+                  points[r].v, points[r].T, points[r].dp3d))
+                for r in range(self.nranks)
+            ])
         Ts = self._dss_levels([o[1] for o in outs], stage, slot=0)
         dps = self._dss_levels([o[2] for o in outs], stage, slot=1)
         vs = self._dss_vector_levels([o[0] for o in outs], stage, slot=2)
@@ -394,6 +501,41 @@ class DistributedPrimitiveEquations:
             s.v, s.T, s.dp3d = vs[r], Ts[r], dps[r]
             out.append(s)
         return out
+
+    def _hypervis_pipelined(self, s3, metas):
+        """Per-field depth-2 software pipeline for hyperviscosity.
+
+        Splits the fused three-field laplacian dispatch into six
+        per-field batches so the driver's DSS of one field overlaps
+        worker compute of the next, never holding more than two batches
+        in flight (the engine's two shared-memory banks).  The DSS
+        calls execute in the same slot order 0..5 as the synchronous
+        form and each field's laplacian/DSS chain is independent, so
+        the values and the simulated clocks are bitwise unchanged.
+        """
+        eng = self.engine
+
+        def submit(task, fields):
+            return eng.submit(
+                task, [(metas[r], (fields[r],)) for r in range(self.nranks)]
+            )
+
+        def outs(pend):
+            return [o[0] for o in pend.wait()]
+
+        p_lapT = submit(prim_laplace_wk_task, [s.T for s in s3])
+        p_lapv = submit(prim_vlaplace_task, [s.v for s in s3])
+        lap_T = self._dss_levels(outs(p_lapT), stage=5, slot=0)
+        p_lapdp = submit(prim_laplace_wk_task, [s.dp3d for s in s3])
+        lap_v = self._dss_vector_levels(outs(p_lapv), stage=5, slot=1)
+        p_bihT = submit(prim_laplace_wk_task, lap_T)
+        lap_dp = self._dss_levels(outs(p_lapdp), stage=5, slot=2)
+        p_bihv = submit(prim_vlaplace_task, lap_v)
+        bih_T = self._dss_levels(outs(p_bihT), stage=5, slot=3)
+        p_bihdp = submit(prim_laplace_wk_task, lap_dp)
+        bih_v = self._dss_vector_levels(outs(p_bihv), stage=5, slot=4)
+        bih_dp = self._dss_levels(outs(p_bihdp), stage=5, slot=5)
+        return bih_T, bih_v, bih_dp
 
     def step(self) -> None:
         from .remap import vertical_remap
@@ -459,20 +601,23 @@ class DistributedPrimitiveEquations:
         # each field's laplacian/DSS chain is independent.)
         hv_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         hv_metas = [{"ctx": self._ctx_key, "rank": r} for r in range(self.nranks)]
-        lap = self.engine.run(prim_laplace_task, [
-            (hv_metas[r], (s3[r].T, s3[r].v, s3[r].dp3d))
-            for r in range(self.nranks)
-        ])
-        lap_T = self._dss_levels([o[0] for o in lap], stage=5, slot=0)
-        lap_v = self._dss_vector_levels([o[1] for o in lap], stage=5, slot=1)
-        lap_dp = self._dss_levels([o[2] for o in lap], stage=5, slot=2)
-        bih = self.engine.run(prim_laplace_task, [
-            (hv_metas[r], (lap_T[r], lap_v[r], lap_dp[r]))
-            for r in range(self.nranks)
-        ])
-        bih_T = self._dss_levels([o[0] for o in bih], stage=5, slot=3)
-        bih_v = self._dss_vector_levels([o[1] for o in bih], stage=5, slot=4)
-        bih_dp = self._dss_levels([o[2] for o in bih], stage=5, slot=5)
+        if _pipeline_active(self):
+            bih_T, bih_v, bih_dp = self._hypervis_pipelined(s3, hv_metas)
+        else:
+            lap = self.engine.run(prim_laplace_task, [
+                (hv_metas[r], (s3[r].T, s3[r].v, s3[r].dp3d))
+                for r in range(self.nranks)
+            ])
+            lap_T = self._dss_levels([o[0] for o in lap], stage=5, slot=0)
+            lap_v = self._dss_vector_levels([o[1] for o in lap], stage=5, slot=1)
+            lap_dp = self._dss_levels([o[2] for o in lap], stage=5, slot=2)
+            bih = self.engine.run(prim_laplace_task, [
+                (hv_metas[r], (lap_T[r], lap_v[r], lap_dp[r]))
+                for r in range(self.nranks)
+            ])
+            bih_T = self._dss_levels([o[0] for o in bih], stage=5, slot=3)
+            bih_v = self._dss_vector_levels([o[1] for o in bih], stage=5, slot=4)
+            bih_dp = self._dss_levels([o[2] for o in bih], stage=5, slot=5)
         for r in range(self.nranks):
             s3[r].T = s3[r].T - dt * self.nu * bih_T[r]
             s3[r].v = s3[r].v - dt * self.nu * bih_v[r]
@@ -512,6 +657,8 @@ class DistributedPrimitiveEquations:
         if self.engine is not SERIAL_ENGINE:
             self.engine.close()
         unregister_context(self._ctx_key)
+        if self._pipe_ctx_key is not None:
+            unregister_context(self._pipe_ctx_key)
 
     def __enter__(self) -> "DistributedPrimitiveEquations":
         return self

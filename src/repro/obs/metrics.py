@@ -291,6 +291,11 @@ def collect_parallel_engine(reg: MetricsRegistry, engine) -> MetricsRegistry:
     reg.inc("parallel.tasks.parallel", engine.tasks_parallel)
     reg.inc("parallel.tasks.serial", engine.tasks_serial)
     reg.inc("parallel.validations", engine.validations)
+    reg.inc("parallel.pipeline.batches", engine.pipeline_batches)
+    reg.set_gauge("parallel.pipeline.max_depth", engine.pipeline_max_depth)
+    reg.inc("parallel.pipeline.overlap_seconds", engine.pipeline_overlap_seconds)
+    reg.inc("parallel.pipeline.wait_seconds", engine.pipeline_wait_seconds)
+    reg.set_gauge("parallel.pipeline.overlap_fraction", engine.overlap_fraction())
     for s in engine.stats:
         prefix = f"parallel.worker.{s.worker}"
         reg.inc(f"{prefix}.tasks", s.tasks)

@@ -27,6 +27,7 @@ The contract (DESIGN.md §10):
 
 from .engine import (  # noqa: F401
     ParallelEngine,
+    PendingRun,
     SERIAL_ENGINE,
     WorkerStats,
     available_cores,
@@ -40,6 +41,7 @@ from .dycore import (  # noqa: F401
 
 __all__ = [
     "ParallelEngine",
+    "PendingRun",
     "SERIAL_ENGINE",
     "WorkerStats",
     "available_cores",

@@ -93,6 +93,29 @@ def prim_laplace_task(meta, T, v, dp):
     )
 
 
+def prim_laplace_wk_task(meta, f):
+    """One rank's scalar weak laplacian of a single field.
+
+    The per-field twin of :func:`prim_laplace_task`, used by the
+    pipelined hyperviscosity chain: splitting the fused three-field
+    task lets the driver's DSS of field *f* overlap worker compute of
+    field *f+1* (values are unchanged — each field's laplacian is
+    computed by the same operator on the same inputs).
+    """
+    from ..homme import operators as op
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    return (op.laplace_sphere_wk(f, geom),)
+
+
+def prim_vlaplace_task(meta, v):
+    """One rank's vector laplacian of a single field (pipelined twin)."""
+    from ..homme import operators as op
+
+    geom = get_context(meta["ctx"])[meta["rank"]]
+    return (op.vlaplace_sphere(v, geom),)
+
+
 def prim_euler_stage1_task(meta, qdp_q, v):
     """Tracer SSP-RK2 stage 1 (pre-DSS): qdp + sdt * advect(qdp)."""
     from ..homme.euler import advect_qdp

@@ -18,6 +18,14 @@ execution bitwise identical to serial.  ``fn`` must be a module-level
 function (it is pickled by reference into the workers) returning a
 tuple of ndarrays.
 
+``submit(fn, payloads)`` is the non-blocking half of the same
+contract: it queues the batch and returns a :class:`PendingRun` whose
+``wait()`` yields the payload-ordered results later.  Up to two
+batches may be in flight at once (double-buffered shared-memory
+banks), which is what lets a driver overlap its combine work for
+batch *k* with worker compute of batch *k+1* — the pipelined
+execution mode of the distributed models.
+
 Large read-only context (element geometries, meshes) never crosses a
 queue: it is published via :func:`register_context` *before* the pool
 forks, so every worker inherits it copy-on-write through ``fork``.
@@ -46,6 +54,7 @@ from ..obs.tracer import NULL_TRACER
 
 __all__ = [
     "ParallelEngine",
+    "PendingRun",
     "SERIAL_ENGINE",
     "WorkerStats",
     "available_cores",
@@ -60,6 +69,12 @@ RESULT_TIMEOUT = 120.0
 
 #: Seconds allowed for the start-up ping that proves the pool works.
 PING_TIMEOUT = 30.0
+
+#: Shared-memory banks for pipelined dispatch.  Two banks = double
+#: buffering: batch k+1 packs into the other bank while workers may
+#: still be reading batch k's blocks, so at most two batches may be in
+#: flight at once.
+PIPELINE_BANKS = 2
 
 #: Read-only objects published to workers.  Entries registered before a
 #: pool starts are inherited by its forked workers copy-on-write;
@@ -183,9 +198,10 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
 
     Inputs arrive through the driver-owned shared-memory blocks;
     results (whose shapes only the task function knows) return through
-    the result queue.  The driver's per-task input block is not reused
-    until the driver has collected this task's result, so reading from
-    the attached views is race-free.
+    the result queue.  The driver double-buffers its input blocks per
+    *bank*: a bank's blocks are not repacked until every task of the
+    batch that used them has been collected, so reading from the
+    attached views is race-free even with two batches in flight.
     """
     attached: dict[str, shared_memory.SharedMemory] = {}
     try:
@@ -234,6 +250,43 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
 # ---------------------------------------------------------------------------
 
 
+class PendingRun:
+    """A dispatched batch awaiting collection.
+
+    Returned by :meth:`ParallelEngine.submit`.  The batch's tasks are
+    already queued to the workers (or earmarked for serial execution on
+    an inactive engine); :meth:`wait` blocks until every result is in
+    and returns them **in payload order** — the same deterministic
+    combine contract as :meth:`ParallelEngine.run`.
+
+    Between ``submit`` and ``wait`` the driver is free to do other work
+    (reassembly, DSS accumulation, further submits) — that window is
+    the pipeline's computation/communication overlap.  The payload
+    arrays must not be mutated until ``wait`` returns: the serial
+    fallback recomputes from them if the pool dies mid-flight.
+    """
+
+    def __init__(self, engine: "ParallelEngine", fn, payloads,
+                 bank: int, parallel: bool) -> None:
+        self.engine = engine
+        self.fn = fn
+        self.payloads = payloads
+        self.bank = bank
+        self.parallel = parallel
+        self.overlapped = False
+        self.submitted_at = time.perf_counter()
+        self.timeout = RESULT_TIMEOUT
+        self.validate = engine.validate  # per-batch override (ping skips)
+        self.results: list[tuple | None] = [None] * len(payloads)
+        self.remaining = 0  # parallel tasks still in flight
+        self.failures: list[str] = []
+        self.done = False
+
+    def wait(self) -> list[tuple]:
+        """Collect the batch's results, in payload order."""
+        return self.engine._wait(self)
+
+
 class ParallelEngine:
     """A persistent multi-core task pool with a serial twin.
 
@@ -280,7 +333,16 @@ class ParallelEngine:
         self._procs: list = []
         self._task_q = None
         self._result_q = None
-        self._in_blocks: dict[int, _Block] = {}
+        #: Shared-memory input blocks, keyed by (bank, payload index).
+        self._in_blocks: dict[tuple[int, int], _Block] = {}
+        self._task_seq = 0
+        self._inflight: dict[int, tuple[PendingRun, int]] = {}
+        self._outstanding: list[PendingRun] = []
+        # Pipeline tallies (see collect_parallel_engine / describe()).
+        self.pipeline_batches = 0
+        self.pipeline_max_depth = 0
+        self.pipeline_overlap_seconds = 0.0
+        self.pipeline_wait_seconds = 0.0
         self._t0 = time.perf_counter()
         if self.workers > 1:
             self._try_start()
@@ -327,10 +389,14 @@ class ParallelEngine:
     def _ping(self) -> None:
         """Prove every queue direction works before trusting the pool."""
         probe = np.arange(4.0)
-        outs = self._run_parallel(
-            _ping_task, [({"add": 1.0}, (probe,))] * self.workers,
-            timeout=PING_TIMEOUT,
-        )
+        pend = self._submit(_ping_task,
+                            [({"add": 1.0}, (probe,))] * self.workers)
+        pend.timeout = PING_TIMEOUT
+        pend.validate = False
+        outs = pend.wait()
+        if not self.active:
+            raise KernelError(
+                f"parallel pool ping failed: {self.fallback_reason}")
         for (out,) in outs:
             if not np.array_equal(out, probe + 1.0):
                 raise KernelError("parallel pool ping returned wrong data")
@@ -341,6 +407,10 @@ class ParallelEngine:
         self.active = False
 
     def _shutdown_pool(self) -> None:
+        self._inflight.clear()
+        for p in self._outstanding:
+            p.remaining = 0  # missing results are computed serially at wait()
+        self._outstanding.clear()
         if self._task_q is not None:
             try:
                 for _ in self._procs:
@@ -387,19 +457,169 @@ class ParallelEngine:
             return []
         if not self.active:
             return self._run_serial(fn, payloads)
+        return self._submit(fn, payloads).wait()
+
+    def submit(self, fn, payloads: list[tuple[dict, tuple]]) -> PendingRun:
+        """Dispatch a batch without blocking; collect via ``.wait()``.
+
+        The pipelining primitive: tasks are packed into this batch's
+        shared-memory *bank* and queued to the workers immediately, and
+        the driver keeps running — overlapping its combine work (and
+        further submits) with worker compute.  Double buffering bounds
+        the depth: at most :data:`PIPELINE_BANKS` batches may be in
+        flight, so a bank is never repacked while its previous batch's
+        workers could still be reading it.  On an inactive engine the
+        batch is executed serially inside ``wait()`` — same results,
+        no overlap.
+        """
+        self.calls += 1
+        return self._submit(fn, payloads)
+
+    def _submit(self, fn, payloads) -> PendingRun:
+        payloads = list(payloads)
+        if not self.active or not payloads:
+            return PendingRun(self, fn, payloads, bank=-1, parallel=False)
+        if len(self._outstanding) >= PIPELINE_BANKS:
+            raise KernelError(
+                f"pipeline depth exceeded: at most {PIPELINE_BANKS} batches "
+                "may be in flight (double-buffered shared-memory banks)"
+            )
+        used = {p.bank for p in self._outstanding}
+        bank = next(b for b in range(PIPELINE_BANKS) if b not in used)
+        pend = PendingRun(self, fn, payloads, bank=bank, parallel=True)
+        pend.overlapped = bool(self._inflight)
+        self._outstanding.append(pend)
+
+        def make_in(capacity: int) -> _Block:
+            return _Block(
+                shared_memory.SharedMemory(create=True, size=capacity),
+                capacity,
+            )
+
         try:
-            results = self._run_parallel(fn, payloads, timeout=RESULT_TIMEOUT)
+            for idx, (meta, arrays) in enumerate(payloads):
+                desc = None
+                if arrays:
+                    block, desc = _pack(
+                        self._in_blocks.get((bank, idx)), tuple(arrays), make_in
+                    )
+                    self._in_blocks[(bank, idx)] = block
+                tid = self._task_seq
+                self._task_seq += 1
+                self._task_q.put((tid, fn, meta, desc))
+                self._inflight[tid] = (pend, idx)
+                pend.remaining += 1
+        except Exception as exc:  # noqa: BLE001 - dispatch failure => pool death
+            self._degrade(f"parallel dispatch failed: {exc!r}")
+            return pend
+        self.pipeline_max_depth = max(self.pipeline_max_depth, len(self._inflight))
+        if pend.overlapped:
+            self.pipeline_batches += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "pipeline", f"submit:{getattr(fn, '__name__', fn)}",
+                    pend.submitted_at - self._t0, cat="pipeline",
+                    tasks=len(payloads), depth=len(self._inflight),
+                )
+        return pend
+
+    def _wait(self, pend: PendingRun) -> list[tuple]:
+        """Drain results for ``pend`` (routing other batches' results to
+        their owners), finish serially on pool death, raise on task
+        failure, cross-validate when asked.  Fixed payload order."""
+        if pend.done:
+            raise KernelError("PendingRun.wait() called twice")
+        t_entry = time.perf_counter()
+        if pend.overlapped:
+            # Driver-side work done since submit = the overlap window.
+            self.pipeline_overlap_seconds += t_entry - pend.submitted_at
+        deadline = time.monotonic() + pend.timeout
+        try:
+            while pend.remaining:
+                tw = time.perf_counter()
+                item = self._result_get(deadline - time.monotonic(),
+                                        pend.timeout)
+                if pend.overlapped:
+                    self.pipeline_wait_seconds += time.perf_counter() - tw
+                self._route(item)
         except KernelError as exc:
-            if "task failed" in str(exc):
-                raise  # a *task* error is the caller's bug, not pool health
-            # Pool died (timeout, closed pipe): degrade and finish serially.
-            self.fallback_reason = str(exc)
-            self._shutdown_pool()
-            self.active = False
-            return self._run_serial(fn, payloads)
-        if self.validate:
-            self._cross_validate(fn, payloads, results)
+            # Pool death (timeout, closed pipe): degrade every
+            # outstanding batch; missing results are computed serially.
+            self._degrade(str(exc))
+        if pend in self._outstanding:
+            self._outstanding.remove(pend)
+        self._finish_serial(pend)
+        pend.done = True
+        if pend.overlapped and self.tracer.enabled:
+            self.tracer.span_at(
+                "pipeline", f"wait:{getattr(pend.fn, '__name__', pend.fn)}",
+                t_entry - self._t0, time.perf_counter() - self._t0,
+                cat="pipeline", tasks=len(pend.payloads),
+            )
+        if pend.failures:
+            raise KernelError(
+                "parallel task failed:\n" + "\n".join(pend.failures)
+            )
+        results = [tuple(r) for r in pend.results]  # type: ignore[arg-type]
+        if pend.validate and pend.parallel and self.active:
+            self._cross_validate(pend.fn, pend.payloads, results)
         return results
+
+    def _route(self, item) -> None:
+        """Deliver one result-queue item to the batch that owns it."""
+        tid, worker_id, status, data, t0, t1, fn_name = item
+        owner = self._inflight.pop(tid, None)
+        if owner is None:
+            return  # stale result from a batch already degraded to serial
+        pend, idx = owner
+        st = self.stats[worker_id]
+        st.tasks += 1
+        st.busy_seconds += max(0.0, t1 - t0)
+        pend.remaining -= 1
+        if status == "err":
+            st.errors += 1
+            pend.failures.append(f"task {idx} on worker {worker_id}:\n{data}")
+            return
+        pend.results[idx] = tuple(data)
+        st.bytes_out += sum(a.nbytes for a in data)
+        meta_in = pend.payloads[idx][0]
+        st.bytes_in += sum(np.asarray(a).nbytes for a in pend.payloads[idx][1])
+        self.tasks_parallel += 1
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                worker_track(worker_id), fn_name,
+                t0 - self._t0, t1 - self._t0, cat="parallel",
+                task=idx, **{k: v for k, v in meta_in.items()
+                             if isinstance(v, (int, float, str, bool))},
+            )
+
+    def _degrade(self, reason: str) -> None:
+        """Pool death: record why, stop the pool, finish pending work
+        serially (``_shutdown_pool`` zeroes every ``remaining``)."""
+        self.fallback_reason = reason
+        pending = list(self._outstanding)
+        self._shutdown_pool()
+        self.active = False
+        for p in pending:
+            self._finish_serial(p)
+
+    def _finish_serial(self, pend: PendingRun) -> None:
+        """Compute any still-missing results of ``pend`` in-process."""
+        for i, (meta, arrays) in enumerate(pend.payloads):
+            if pend.results[i] is not None:
+                continue
+            try:
+                res = pend.fn(meta, *arrays)
+            except Exception:  # noqa: BLE001 - surface as a task failure
+                pend.failures.append(
+                    f"task {i} (serial fallback):\n{traceback.format_exc()}"
+                )
+                continue
+            if not isinstance(res, (tuple, list)):
+                res = (res,)
+            pend.results[i] = tuple(np.asarray(a) for a in res)
+            self.tasks_serial += 1
+        pend.remaining = 0
 
     def _run_serial(self, fn, payloads) -> list[tuple]:
         self.tasks_serial += len(payloads)
@@ -411,57 +631,7 @@ class ParallelEngine:
             out.append(tuple(np.asarray(a) for a in res))
         return out
 
-    def _run_parallel(self, fn, payloads, timeout: float) -> list[tuple]:
-        for idx, (meta, arrays) in enumerate(payloads):
-            desc = None
-            if arrays:
-                block = self._in_blocks.get(idx)
-
-                def make_in(capacity: int) -> _Block:
-                    return _Block(
-                        shared_memory.SharedMemory(create=True, size=capacity),
-                        capacity,
-                    )
-
-                block, desc = _pack(block, tuple(arrays), make_in)
-                self._in_blocks[idx] = block
-            try:
-                self._task_q.put((idx, fn, meta, desc))
-            except Exception as exc:  # noqa: BLE001
-                raise KernelError(f"parallel dispatch failed: {exc!r}") from exc
-        results: list[tuple | None] = [None] * len(payloads)
-        failures: list[str] = []
-        deadline = time.monotonic() + timeout
-        for _ in range(len(payloads)):
-            remaining = deadline - time.monotonic()
-            item = self._result_get(remaining)
-            idx, worker_id, status, data, t0, t1, fn_name = item
-            st = self.stats[worker_id]
-            st.tasks += 1
-            st.busy_seconds += max(0.0, t1 - t0)
-            if status == "err":
-                st.errors += 1
-                failures.append(f"task {idx} on worker {worker_id}:\n{data}")
-                continue
-            results[idx] = tuple(data)
-            st.bytes_out += sum(a.nbytes for a in data)
-            meta_in = payloads[idx][0]
-            st.bytes_in += sum(np.asarray(a).nbytes for a in payloads[idx][1])
-            self.tasks_parallel += 1
-            if self.tracer.enabled:
-                self.tracer.span_at(
-                    worker_track(worker_id), fn_name,
-                    t0 - self._t0, t1 - self._t0, cat="parallel",
-                    task=idx, **{k: v for k, v in meta_in.items()
-                                 if isinstance(v, (int, float, str, bool))},
-                )
-        if failures:
-            raise KernelError(
-                "parallel task failed:\n" + "\n".join(failures)
-            )
-        return results  # type: ignore[return-value]
-
-    def _result_get(self, remaining: float):
+    def _result_get(self, remaining: float, timeout: float = RESULT_TIMEOUT):
         """Result-queue get with a liveness-aware timeout."""
         import select
 
@@ -471,10 +641,16 @@ class ParallelEngine:
         ready, _, _ = select.select([reader], [], [], remaining)
         if not ready:
             raise KernelError(
-                f"parallel pool timed out after {RESULT_TIMEOUT:.0f}s "
+                f"parallel pool timed out after {timeout:.0f}s "
                 f"({self.label}); falling back to serial"
             )
         return self._result_q.get()
+
+    def overlap_fraction(self) -> float:
+        """Fraction of pipelined driver time spent doing useful work
+        (combines, submits) rather than blocked waiting on workers."""
+        total = self.pipeline_overlap_seconds + self.pipeline_wait_seconds
+        return self.pipeline_overlap_seconds / total if total > 0 else 0.0
 
     # -- validation ---------------------------------------------------------
 
@@ -506,6 +682,13 @@ class ParallelEngine:
             "tasks_parallel": self.tasks_parallel,
             "tasks_serial": self.tasks_serial,
             "validations": self.validations,
+            "pipeline": {
+                "batches": self.pipeline_batches,
+                "max_depth": self.pipeline_max_depth,
+                "overlap_seconds": self.pipeline_overlap_seconds,
+                "wait_seconds": self.pipeline_wait_seconds,
+                "overlap_fraction": self.overlap_fraction(),
+            },
             "per_worker": [
                 {"worker": s.worker, "tasks": s.tasks,
                  "busy_seconds": s.busy_seconds, "bytes_in": s.bytes_in,

@@ -21,7 +21,7 @@ This subpackage models the pieces the paper's redesign exploits:
 """
 
 from .spec import SW26010Spec, DEFAULT_SPEC
-from .ldm import LDM, LDMBlock
+from .ldm import LDM, LDMArray, LDMBlock
 from .dma import DMAEngine, DMARequest
 from .regcomm import CPEMeshComm
 from .vector import VectorUnit, shuffle, transpose4x4
@@ -34,6 +34,7 @@ __all__ = [
     "SW26010Spec",
     "DEFAULT_SPEC",
     "LDM",
+    "LDMArray",
     "LDMBlock",
     "DMAEngine",
     "DMARequest",

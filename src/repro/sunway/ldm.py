@@ -20,6 +20,32 @@ import numpy as np
 from ..errors import LDMAllocationError, LDMOverflowError
 from ..obs.tracer import NULL_TRACER
 
+#: SW26010 vector loads require 32-byte alignment; every allocation is
+#: rounded up to this before it is fitted against the free list.
+LDM_ALIGN = 32
+
+
+def _aligned(nbytes: int) -> int:
+    """Round an allocation request up to the LDM alignment."""
+    return (nbytes + LDM_ALIGN - 1) & ~(LDM_ALIGN - 1)
+
+
+class LDMArray(np.ndarray):
+    """An ndarray view of scratchpad bytes that owns its backing block.
+
+    Holding the :class:`LDMBlock` on the array itself (rather than in a
+    driver-side ``id(arr)``-keyed map) ties the block's bookkeeping to
+    the array's lifetime: CPython recycles object ids, so an id-keyed
+    map could be fooled into freeing the wrong block after the original
+    array was garbage-collected.
+    """
+
+    _ldm_block = None
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self._ldm_block = getattr(obj, "_ldm_block", None)
+
 
 @dataclass
 class LDMBlock:
@@ -95,8 +121,17 @@ class LDM:
         return max((s for _, s in self._free), default=0)
 
     def would_fit(self, nbytes: int) -> bool:
-        """Whether an allocation of ``nbytes`` would currently succeed."""
-        return nbytes <= self.largest_free_block
+        """Whether ``alloc(nbytes)`` would currently succeed.
+
+        Exact iff-equivalence with :meth:`alloc`: the request is rounded
+        up to the 32-byte alignment *before* it is compared against the
+        largest free extent (``would_fit(33)`` is False when only 48
+        contiguous bytes remain, because ``alloc(33)`` needs 64), and
+        non-positive sizes — which ``alloc`` rejects — report False.
+        """
+        if nbytes <= 0:
+            return False
+        return _aligned(nbytes) <= self.largest_free_block
 
     # -- allocation ----------------------------------------------------------
 
@@ -105,8 +140,7 @@ class LDM:
         does not fit in any free extent."""
         if nbytes <= 0:
             raise LDMAllocationError(f"allocation size must be positive, got {nbytes}")
-        # 32-byte alignment: vector loads require it on SW26010.
-        aligned = (nbytes + 31) & ~31
+        aligned = _aligned(nbytes)
         for i, (off, size) in enumerate(self._free):
             if size >= aligned:
                 if size == aligned:
@@ -128,14 +162,18 @@ class LDM:
     ) -> np.ndarray:
         """Allocate an ndarray view backed by scratchpad bytes.
 
-        The returned array carries its block via ``arr.base``-independent
-        bookkeeping: use :meth:`free_array` to release it.
+        The returned :class:`LDMArray` carries its backing block for its
+        whole lifetime (id-recycling-proof); use :meth:`free_array` to
+        release it.
         """
         shape_t = (shape,) if isinstance(shape, int) else tuple(shape)
         nbytes = int(np.prod(shape_t)) * np.dtype(dtype).itemsize
         block = self.alloc(nbytes, label)
-        arr = block.data[:nbytes].view(dtype).reshape(shape_t)
-        self._array_blocks[id(arr)] = block
+        arr = block.data[:nbytes].view(dtype).reshape(shape_t).view(LDMArray)
+        arr._ldm_block = block
+        # Bookkeeping keyed by block *offset* — stable for the block's
+        # lifetime, unlike id(arr), which CPython recycles after GC.
+        self._array_blocks[block.offset] = block
         return arr
 
     def free(self, block: LDMBlock) -> None:
@@ -146,16 +184,27 @@ class LDM:
             raise LDMAllocationError(f"double free of block {block.label!r}")
         block._freed = True
         del self._blocks[block.offset]
+        self._array_blocks.pop(block.offset, None)
         self._used -= block.size
         self._insert_free(block.offset, block.size)
         if self.tracer.enabled:
             self._sample_occupancy()
 
     def free_array(self, arr: np.ndarray) -> None:
-        """Release an array obtained from :meth:`alloc_array`."""
-        block = self._array_blocks.pop(id(arr), None)
+        """Release an array obtained from :meth:`alloc_array`.
+
+        The block travels on the array itself, so a foreign ndarray —
+        even one whose ``id`` happens to match a collected LDM array's —
+        can never free somebody else's block.
+        """
+        block = getattr(arr, "_ldm_block", None)
         if block is None:
             raise LDMAllocationError("array was not allocated from this LDM")
+        if self._blocks.get(block.offset) is not block:
+            raise LDMAllocationError(
+                f"array block {block.label!r} is not live in this LDM "
+                "(already freed, reset, or foreign)"
+            )
         self.free(block)
 
     def reset(self) -> None:

@@ -27,7 +27,7 @@ from repro.parallel import (
     parallel_homme_execution,
     worker_track,
 )
-from repro.parallel.engine import _ping_task
+from repro.parallel.engine import PIPELINE_BANKS, _ping_task
 
 
 def _boom_task(meta, arr):
@@ -104,6 +104,103 @@ class TestEngineBasics:
         assert not e.active
 
 
+class TestPipelineSubmit:
+    def test_two_outstanding_batches_any_wait_order(self):
+        """submit/wait with both banks in flight: results stay in
+        payload order regardless of collection order."""
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            p1 = e.submit(_ping_task, [
+                ({"add": float(i)}, (np.arange(4.0),)) for i in range(3)
+            ])
+            p2 = e.submit(_ping_task, [
+                ({"add": 10.0 + i}, (np.arange(4.0),)) for i in range(2)
+            ])
+            r2 = p2.wait()  # out of submit order: routes p1's results too
+            r1 = p1.wait()
+            for i, (out,) in enumerate(r1):
+                assert np.array_equal(out, np.arange(4.0) + i)
+            for i, (out,) in enumerate(r2):
+                assert np.array_equal(out, np.arange(4.0) + 10.0 + i)
+            assert e.pipeline_batches >= 1  # p2 overlapped p1
+            assert e.pipeline_max_depth >= 5  # 3 + 2 tasks in flight
+
+    def test_depth_beyond_banks_raises(self):
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            pends = [
+                e.submit(_ping_task, [({"add": 1.0}, (np.arange(2.0),))])
+                for _ in range(PIPELINE_BANKS)
+            ]
+            with pytest.raises(KernelError, match="pipeline depth"):
+                e.submit(_ping_task, [({"add": 1.0}, (np.arange(2.0),))])
+            for p in pends:
+                p.wait()
+
+    def test_inactive_engine_submit_finishes_serially(self):
+        e = ParallelEngine(workers=0)
+        pend = e.submit(_ping_task, [({"add": 3.0}, (np.arange(4.0),))])
+        assert not pend.parallel
+        (out,), = pend.wait()
+        assert np.array_equal(out, np.arange(4.0) + 3.0)
+        assert e.tasks_serial == 1
+
+    def test_double_wait_raises(self):
+        e = ParallelEngine(workers=0)
+        pend = e.submit(_ping_task, [({"add": 1.0}, (np.arange(2.0),))])
+        pend.wait()
+        with pytest.raises(KernelError, match="twice"):
+            pend.wait()
+
+    def test_overlap_metrics_populated(self):
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            p1 = e.submit(_ping_task, [({"add": 1.0}, (np.arange(64.0),))] * 2)
+            p2 = e.submit(_ping_task, [({"add": 2.0}, (np.arange(64.0),))] * 2)
+            p1.wait()
+            p2.wait()
+            assert e.pipeline_batches == 1
+            assert e.pipeline_overlap_seconds > 0.0
+            assert 0.0 <= e.overlap_fraction() <= 1.0
+            desc = e.describe()["pipeline"]
+            assert desc["batches"] == 1
+            assert desc["max_depth"] >= 2
+
+    def test_submit_task_error_raised_at_wait(self):
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            pend = e.submit(_boom_task, [({}, (np.arange(3.0),))])
+            with pytest.raises(KernelError, match="intentional task failure"):
+                pend.wait()
+            assert e.active  # a task bug is not pool death
+
+
+class TestBoundaryInnerSplit:
+    def test_split_merge_local_round_trip(self):
+        """merge_local(split_local(f)) is the identity — the scatter
+        that makes pipelined reassembly byte-exact."""
+        from repro.homme.bndry import HaloExchanger
+        from repro.mesh.partition import SFCPartition
+
+        mesh = CubedSphereMesh(4, 4)
+        part = SFCPartition(mesh.ne, 4)
+        hx = HaloExchanger(mesh, part)
+        rng = np.random.default_rng(3)
+        for r in range(4):
+            nel = len(part.rank_elements(r))
+            f = rng.standard_normal((nel, 4, 4))
+            boundary, inner = hx.split_local(r, f)
+            assert len(boundary) + len(inner) == nel
+            assert len(boundary) == len(hx.local_boundary_idx[r])
+            out = hx.merge_local(r, boundary, inner)
+            assert out.dtype == f.dtype
+            assert np.array_equal(out, f)
+
+
 class TestChunkedKernels:
     def test_cross_validate_parallel_is_bitwise(self):
         _, _, geom, state = _noisy_prim_state()
@@ -178,6 +275,61 @@ class TestDistributedBitwise:
             for f in ("v", "T", "dp3d", "qdp"):
                 assert np.array_equal(getattr(gs, f), getattr(gp, f)), f
 
+    def test_sw_ne8_pipelined_matches_serial_bitwise(self):
+        """Acceptance criterion: the pipelined mode (boundary/inner
+        split dispatch, combines overlapped with worker compute) is
+        bitwise identical to serial — validate=True additionally
+        recomputes every batch on the driver and compares bitwise."""
+        mesh = CubedSphereMesh(8, 4)
+        with DistributedShallowWater(mesh, nranks=4) as ser, \
+                DistributedShallowWater(mesh, nranks=4, workers=2,
+                                        validate=True, pipeline=True) as pip:
+            ser.run_steps(2)
+            pip.run_steps(2)
+            gs, gp = ser.gather_state(), pip.gather_state()
+            assert np.array_equal(gs.h, gp.h)
+            assert np.array_equal(gs.v, gp.v)
+            # Pipelining changes wall time only, never simulated clocks.
+            assert ser.max_rank_time() == pip.max_rank_time()
+            if pip.engine.active:
+                assert pip.engine.pipeline_batches > 0
+                assert pip.engine.pipeline_overlap_seconds > 0.0
+
+    def test_prim_ne4_pipelined_matches_serial_bitwise(self):
+        """Pipelined primitive equations — split RK fanout plus the
+        per-field depth-2 hyperviscosity chain — bitwise vs serial."""
+        cfg, mesh, _, state = _noisy_prim_state()
+        with DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0) as ser, \
+            DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0, workers=2,
+                validate=True, pipeline=True) as pip:
+            ser.run_steps(2)
+            pip.run_steps(2)
+            gs, gp = ser.gather_state(), pip.gather_state()
+            for f in ("v", "T", "dp3d", "qdp"):
+                assert np.array_equal(getattr(gs, f), getattr(gp, f)), f
+            assert ser.max_rank_time() == pip.max_rank_time()
+
+    def test_prim_snapshot_restore_under_pipeline(self):
+        """snapshot()/restore_snapshot() round-trip stays bitwise under
+        pipelined execution, across the rsplit remap boundary."""
+        cfg, mesh, _, state = _noisy_prim_state()
+        with DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0) as ser, \
+            DistributedPrimitiveEquations(
+                cfg, mesh, state, nranks=4, dt=30.0, workers=2,
+                pipeline=True) as pip:
+            ser.run_steps(4)
+            pip.run_steps(1)
+            snap = pip.snapshot()
+            pip.run_steps(1)  # diverge past the snapshot...
+            pip.restore_snapshot(snap)  # ...and rewind
+            pip.run_steps(3)
+            gs, gp = ser.gather_state(), pip.gather_state()
+            for f in ("v", "T", "dp3d", "qdp"):
+                assert np.array_equal(getattr(gs, f), getattr(gp, f)), f
+
     def test_serial_workers_knob_is_default_path(self):
         mesh = CubedSphereMesh(4, 4)
         with DistributedShallowWater(mesh, nranks=2) as m:
@@ -198,6 +350,35 @@ class TestObservability:
         )
         assert total >= 4  # ping tasks included
         assert reg.value("parallel.active") == (1.0 if was_active else 0.0)
+
+    def test_pipeline_metrics_collected(self):
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            p1 = e.submit(_ping_task, [({"add": 1.0}, (np.arange(8.0),))] * 2)
+            p2 = e.submit(_ping_task, [({"add": 2.0}, (np.arange(8.0),))] * 2)
+            p1.wait()
+            p2.wait()
+            reg = collect_parallel_engine(MetricsRegistry("par"), e)
+        assert reg.value("parallel.pipeline.batches") == e.pipeline_batches
+        assert reg.value("parallel.pipeline.max_depth") == e.pipeline_max_depth
+        assert reg.value("parallel.pipeline.overlap_seconds") > 0.0
+        assert 0.0 <= reg.value("parallel.pipeline.overlap_fraction") <= 1.0
+
+    def test_pipeline_spans_land_on_pipeline_track(self):
+        tracer = Tracer("pipeline-test")
+        e = ParallelEngine(workers=2, tracer=tracer)
+        try:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            p1 = e.submit(_ping_task, [({"add": 1.0}, (np.arange(4.0),))] * 2)
+            p2 = e.submit(_ping_task, [({"add": 2.0}, (np.arange(4.0),))] * 2)
+            p1.wait()
+            p2.wait()
+            tracks = {ev.track for ev in tracer.recorder.events}
+            assert "pipeline" in tracks
+        finally:
+            e.close()
 
     def test_worker_spans_land_on_worker_tracks(self):
         tracer = Tracer("parallel-test")

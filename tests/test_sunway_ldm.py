@@ -1,11 +1,13 @@
 """Tests for the LDM scratchpad allocator: capacity, fragmentation, arrays."""
 
+import gc
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import LDMAllocationError, LDMOverflowError
-from repro.sunway import LDM
+from repro.sunway import LDM, LDMArray
 
 
 class TestAllocation:
@@ -145,7 +147,130 @@ class TestArrays:
             ldm.alloc_array((4, 4, 128), label="f4")
 
 
+class TestWouldFitAlignment:
+    def test_would_fit_accounts_for_alignment(self):
+        """Regression: would_fit compared the *raw* size against the
+        largest extent while alloc fits the *aligned* size — so
+        would_fit(33) said True on a 48-byte extent that alloc(33)
+        (rounded to 64) then overflowed."""
+        ldm = LDM(48)
+        assert ldm.largest_free_block == 48
+        assert ldm.would_fit(32)
+        assert not ldm.would_fit(33)
+        with pytest.raises(LDMOverflowError):
+            ldm.alloc(33)
+        assert not ldm.would_fit(48)  # rounds to 64
+
+    def test_would_fit_nonpositive_matches_alloc(self):
+        """alloc rejects n <= 0, so would_fit must report False there."""
+        ldm = LDM(1024)
+        assert not ldm.would_fit(0)
+        assert not ldm.would_fit(-8)
+
+
+class TestArrayBlockIdentity:
+    def test_foreign_array_never_frees_after_id_recycling(self):
+        """Regression: bookkeeping keyed by id(arr) could be fooled by
+        CPython recycling the id of a collected LDM array — a foreign
+        ndarray landing on that id would free somebody else's block.
+        The block now travels on the array itself."""
+        ldm = LDM(1024)
+        arr = ldm.alloc_array(16, label="victim")
+        assert isinstance(arr, LDMArray)
+        del arr  # leaked (never freed): its block must stay allocated
+        gc.collect()
+        used_before = ldm.used
+        assert used_before == 128
+        # However many foreign arrays we try — including any whose id
+        # recycles the collected array's — none may free anything.
+        for _ in range(32):
+            with pytest.raises(LDMAllocationError):
+                ldm.free_array(np.zeros(16))
+        assert ldm.used == used_before
+
+    def test_free_array_after_leak_frees_only_its_own_block(self):
+        ldm = LDM(1024)
+        a = ldm.alloc_array(16, label="a")
+        del a  # leaked
+        gc.collect()
+        b = ldm.alloc_array(16, label="b")  # may recycle a's id
+        ldm.free_array(b)
+        # Only b's 128 bytes came back; the leaked block stays allocated.
+        assert ldm.used == 128
+
+    def test_views_share_the_block_and_double_free_is_rejected(self):
+        ldm = LDM(1024)
+        arr = ldm.alloc_array(16)
+        view = arr[2:5]  # __array_finalize__ propagates the block
+        ldm.free_array(view)
+        assert ldm.used == 0
+        with pytest.raises(LDMAllocationError):
+            ldm.free_array(arr)
+
+    def test_free_array_after_reset_rejected(self):
+        ldm = LDM(1024)
+        arr = ldm.alloc_array(8)
+        ldm.reset()
+        with pytest.raises(LDMAllocationError):
+            ldm.free_array(arr)
+        assert ldm.used == 0
+
+    def test_free_of_reset_block_rejected(self):
+        ldm = LDM(1024)
+        b = ldm.alloc(64)
+        ldm.reset()
+        with pytest.raises(LDMAllocationError):
+            ldm.free(b)
+
+
+class TestFragmentationEdges:
+    def test_free_in_reverse_order_coalesces_to_one_extent(self):
+        ldm = LDM(1024)
+        blocks = [ldm.alloc(128) for _ in range(8)]
+        for b in reversed(blocks):
+            ldm.free(b)
+        # One fully coalesced extent: the largest extent IS all free space.
+        assert ldm.largest_free_block == ldm.free_bytes == 1024
+
+    def test_largest_free_block_under_interleaved_alloc_free(self):
+        ldm = LDM(1024)
+        a = ldm.alloc(256)
+        b = ldm.alloc(256)
+        c = ldm.alloc(256)
+        assert ldm.largest_free_block == 256  # tail
+        ldm.free(b)
+        assert ldm.largest_free_block == 256  # mid hole == tail
+        ldm.free(c)  # mid hole + c + tail coalesce
+        assert ldm.largest_free_block == 768
+        d = ldm.alloc(512)
+        assert ldm.largest_free_block == 256
+        ldm.free(a)
+        ldm.free(d)
+        assert ldm.largest_free_block == 1024
+
+
 class TestPropertyBased:
+    @given(n=st.integers(min_value=-64, max_value=2048))
+    @settings(max_examples=80, deadline=None)
+    def test_would_fit_iff_alloc_succeeds_on_fragmented_list(self, n):
+        """Acceptance criterion: would_fit(n) <=> alloc(n) succeeds, for
+        all n (including n <= 0) on a fragmented free list."""
+        ldm = LDM(2048)
+        blocks = [ldm.alloc(256) for _ in range(8)]
+        for b in blocks[::2]:
+            ldm.free(b)  # alternating 256-byte holes
+        fits = ldm.would_fit(n)
+        if n <= 0:
+            assert not fits
+            with pytest.raises(LDMAllocationError):
+                ldm.alloc(n)
+            return
+        try:
+            ldm.alloc(n)
+            allocated = True
+        except LDMOverflowError:
+            allocated = False
+        assert fits == allocated
     @given(
         sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=50)
     )
