@@ -36,12 +36,20 @@ SPEEDUP_FLOORS = {
     "prim_rhs.ne4.speedup": 2.0,
     "dist_sw_step.ne8.parallel_speedup": 1.3,
     "dist_sw_step.ne8.pipelined_speedup": 1.15,
+    # Recovery overhead gate (DESIGN.md §12): one injected worker kill
+    # may cost at most 50% wall time over the fault-free parallel step,
+    # i.e. recovery_speedup = parallel/recovery >= 1/1.5.
+    "dist_sw_step.ne8.recovery_speedup": 1.0 / 1.5,
 }
 
 #: Worker count for the parallel-vs-serial distributed section; the
 #: section is skipped (with a logged reason in ``report["skipped"]``)
 #: on machines with fewer usable cores.
 PARALLEL_BENCH_WORKERS = 4
+
+#: Steps in the recovery-overhead run: one worker kill amortized over a
+#: short run, the way a real job amortizes a node failure.
+RECOVERY_STEPS = 3
 
 
 def _prim_state(ne: int = 4, nlev: int = 8, qsize: int = 4, seed: int = 7):
@@ -160,6 +168,40 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             ))
             model.close()
 
+        # Recovery overhead: a short parallel *run* (RECOVERY_STEPS
+        # steps) absorbing one seeded worker kill, gated against the
+        # same run fault-free.  Chaos fires only on a task's first
+        # dispatch, so this is a single-shot measurement (repeats=1) of
+        # crash detection + respawn + redistribution amortized the way
+        # a real job amortizes a node failure.  The kill is scheduled
+        # into the second step: the first dispatch of the untimed
+        # warmup step pays the one-time block-allocation costs, same as
+        # the other entries.
+        from ..parallel import ChaosSpec
+
+        tasks_per_step = 3 * PARALLEL_BENCH_WORKERS  # 3 RK stages x ranks
+        kill_tid = PARALLEL_BENCH_WORKERS + tasks_per_step + 2
+        model = DistributedShallowWater(
+            mesh8, nranks=PARALLEL_BENCH_WORKERS,
+            workers=PARALLEL_BENCH_WORKERS,
+            engine_kwargs={"chaos": ChaosSpec(kill_tasks=(kill_tid,))},
+        )
+        secs = time_wall(lambda: model.run_steps(RECOVERY_STEPS),
+                         repeats=1, warmup=0, setup=model.step)
+        results.append(BenchResult(
+            name="dist_sw_step.ne8.recovery", clock="wall", seconds=secs,
+            repeats=1,
+            meta={"ne": 8, "nranks": PARALLEL_BENCH_WORKERS,
+                  "workers": PARALLEL_BENCH_WORKERS, "steps": RECOVERY_STEPS,
+                  "kernel": "distributed SW run + worker kill",
+                  "kill_task": kill_tid,
+                  "respawns": model.engine.recovery["respawns"],
+                  "pool_degrades": model.engine.recovery["pool_degrades"],
+                  "pool_active": bool(model.engine.active),
+                  "gated": False},
+        ))
+        model.close()
+
     # -- simulated clock: Table-1 kernels through the backend models -------
     workloads = table1_workloads()
     backends = {name: cls() for name, cls in ALL_BACKENDS.items()}
@@ -207,6 +249,23 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         else:
             skipped["dist_sw_step.ne8.pipelined_speedup"] = (
                 "worker pool fell back to serial; speedup floor not applicable"
+            )
+    # Recovery gate: >= 1/1.5 means the injected kill cost <= 50% wall
+    # time over the equivalent fault-free parallel run (the per-step
+    # parallel time scaled to the recovery run's step count).  Only
+    # meaningful when the recovery run actually recovered (respawned,
+    # pool survived).
+    rec = by_name.get("dist_sw_step.ne8.recovery")
+    if par is not None and rec is not None:
+        if (par.meta.get("pool_active") and rec.meta.get("pool_active")
+                and rec.meta.get("respawns", 0) >= 1):
+            derived["dist_sw_step.ne8.recovery_speedup"] = (
+                par.seconds * rec.meta["steps"] / rec.seconds
+            )
+        else:
+            skipped["dist_sw_step.ne8.recovery_speedup"] = (
+                "recovery run degraded or never respawned; "
+                "overhead floor not applicable"
             )
 
     return {

@@ -47,13 +47,16 @@ from .shallow_water import SWState, williamson2_initial
 
 
 def _make_engine(model, workers: int, validate: bool, label: str,
-                 pipeline: bool = False):
+                 pipeline: bool = False, engine_kwargs: dict | None = None):
     """Shared ``workers=``/``pipeline=`` plumbing for the distributed models.
 
     Registers the per-rank geometries in the fork-inherited context
     registry (warming the memoized tensor caches first, so workers
     inherit them copy-on-write), then starts the pool — or hands back
     the shared always-serial engine for ``workers <= 1``.
+    ``engine_kwargs`` passes straight through to
+    :class:`~repro.parallel.engine.ParallelEngine` — the supervision,
+    chaos, and integrity knobs of DESIGN.md §12.
 
     ``pipeline=True`` additionally registers the *split* per-rank
     geometries (slot ``2r`` = rank ``r``'s boundary elements, ``2r+1``
@@ -85,7 +88,7 @@ def _make_engine(model, workers: int, validate: bool, label: str,
     if model.workers > 1:
         model.engine = ParallelEngine(
             workers=model.workers, validate=model.validate,
-            tracer=model.tracer, label=label,
+            tracer=model.tracer, label=label, **(engine_kwargs or {}),
         )
     else:
         model.engine = SERIAL_ENGINE
@@ -168,6 +171,7 @@ class DistributedShallowWater:
         workers: int = 0,
         validate: bool = False,
         pipeline: bool = False,
+        engine_kwargs: dict | None = None,
     ) -> None:
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
@@ -181,7 +185,8 @@ class DistributedShallowWater:
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
-        _make_engine(self, workers, validate, "dist-sw", pipeline=pipeline)
+        _make_engine(self, workers, validate, "dist-sw", pipeline=pipeline,
+                     engine_kwargs=engine_kwargs)
         init = williamson2_initial(mesh)
         self.states = [
             SWState(
@@ -392,6 +397,7 @@ class DistributedPrimitiveEquations:
         workers: int = 0,
         validate: bool = False,
         pipeline: bool = False,
+        engine_kwargs: dict | None = None,
     ) -> None:
         from ..homme.hypervis import nu_for_ne
 
@@ -422,7 +428,8 @@ class DistributedPrimitiveEquations:
         self.t = 0.0
         self.step_count = 0
         self._epoch = 0
-        _make_engine(self, workers, validate, "dist-prim", pipeline=pipeline)
+        _make_engine(self, workers, validate, "dist-prim", pipeline=pipeline,
+                     engine_kwargs=engine_kwargs)
 
     # -- distributed DSS over level-carrying fields --------------------------------
 

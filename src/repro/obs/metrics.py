@@ -296,6 +296,13 @@ def collect_parallel_engine(reg: MetricsRegistry, engine) -> MetricsRegistry:
     reg.inc("parallel.pipeline.overlap_seconds", engine.pipeline_overlap_seconds)
     reg.inc("parallel.pipeline.wait_seconds", engine.pipeline_wait_seconds)
     reg.set_gauge("parallel.pipeline.overlap_fraction", engine.overlap_fraction())
+    # Self-healing tallies (DESIGN.md §12): what the supervisor saw and
+    # did, plus a labelled counter per degrade reason — the full history,
+    # not just the engine's last fallback_reason string.
+    for key, value in engine.recovery.items():
+        reg.inc(f"parallel.recovery.{key}", value)
+    for kind, count in engine.degrade_kinds.items():
+        reg.inc(f"parallel.degrade.reason.{kind}", count)
     for s in engine.stats:
         prefix = f"parallel.worker.{s.worker}"
         reg.inc(f"{prefix}.tasks", s.tasks)
@@ -303,4 +310,5 @@ def collect_parallel_engine(reg: MetricsRegistry, engine) -> MetricsRegistry:
         reg.inc(f"{prefix}.bytes_in", s.bytes_in)
         reg.inc(f"{prefix}.bytes_out", s.bytes_out)
         reg.inc(f"{prefix}.errors", s.errors)
+        reg.inc(f"{prefix}.respawns", s.respawns)
     return reg

@@ -23,6 +23,12 @@ The contract (DESIGN.md §10):
 - **Validation.** ``validate=True`` mirrors the 1e-12 dispatch check
   of :func:`repro.backends.functional_exec.cross_validate_paths`:
   every parallel result is recomputed serially and compared bitwise.
+- **Self-healing.** Supervised engines (the default) recover worker
+  crashes, hangs, overdue results, and corrupted result blocks locally
+  — respawn the slot, redistribute only its in-flight tasks, re-execute
+  integrity failures — without giving up the pool or the bitwise
+  contract (DESIGN.md §12).  :mod:`repro.parallel.chaos` proves it with
+  seeded fault scenarios against a serial oracle.
 """
 
 from .engine import (  # noqa: F401
@@ -32,6 +38,16 @@ from .engine import (  # noqa: F401
     WorkerStats,
     available_cores,
     worker_track,
+)
+from .supervisor import (  # noqa: F401
+    ChaosSpec,
+    WorkerSupervisor,
+    result_crc,
+)
+from .chaos import (  # noqa: F401
+    SCENARIOS,
+    run_scenario,
+    scenario_spec,
 )
 from .dycore import (  # noqa: F401
     ParallelHommeKernels,
@@ -46,6 +62,12 @@ __all__ = [
     "WorkerStats",
     "available_cores",
     "worker_track",
+    "ChaosSpec",
+    "WorkerSupervisor",
+    "result_crc",
+    "SCENARIOS",
+    "run_scenario",
+    "scenario_spec",
     "ParallelHommeKernels",
     "cross_validate_parallel",
     "parallel_homme_execution",

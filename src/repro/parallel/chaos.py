@@ -1,0 +1,157 @@
+"""Chaos harness: deterministic worker-fault scenarios with a bitwise
+serial oracle.
+
+The supervision layer (:mod:`repro.parallel.supervisor`, DESIGN.md §12)
+claims that any worker fault — crash, hang, late result, corrupted
+result — is recovered locally while the trajectory stays **bitwise
+identical** to the serial run.  This module makes that claim testable
+the way :class:`~repro.resilience.faults.FaultInjector` makes network
+faults testable: every scenario is a seeded, deterministic
+:class:`~repro.parallel.supervisor.ChaosSpec` plus the engine knobs
+that make the fault observable fast, and :func:`run_scenario` executes
+the faulty parallel integration next to a fault-free serial one and
+compares the gathered states byte for byte.
+
+Scenarios (all keyed to task ids in the run's first RK stage, so they
+fire mid-batch in both plain and pipelined dispatch):
+
+- ``kill-worker`` — a worker self-SIGKILLs before computing; the
+  supervisor sees the crash, respawns the slot, redistributes.
+- ``stall-heartbeat`` — a worker stops heartbeating and sleeps; the
+  supervisor declares it hung past ``heartbeat_timeout`` and replaces
+  it.
+- ``delay-result`` — a worker computes, then sleeps past the batch's
+  ``result_timeout``; the driver treats it as overdue and re-issues its
+  tasks.
+- ``corrupt-result`` — one bit of a result array flips after the CRC
+  stamp; the driver's integrity check rejects it and re-executes.
+- ``mixed`` — one kill plus one corrupted result in the same run.
+
+Use from tests, ``examples/self_healing_run.py``, and the CI
+``chaos-smoke`` job::
+
+    report = run_scenario("kill-worker", workers=2, seed=0)
+    assert report["bitwise_identical"]
+    assert report["recovery"]["respawns"] >= 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from ..errors import KernelError
+from .supervisor import ChaosSpec
+
+__all__ = ["SCENARIOS", "scenario_spec", "run_scenario"]
+
+#: Scenario name -> (fault counts for :meth:`ChaosSpec.seeded`, engine
+#: keyword overrides that make the fault detectable quickly).  Timeouts
+#: are deliberately generous against the fault's own duration so slow
+#: CI machines classify the fault the same way fast ones do.
+SCENARIOS: dict[str, tuple[dict, dict]] = {
+    "kill-worker": (
+        {"kills": 1},
+        {},
+    ),
+    "stall-heartbeat": (
+        {"stalls": 1, "stall_seconds": 60.0},
+        {"heartbeat_timeout": 1.5},
+    ),
+    "delay-result": (
+        {"delays": 1, "delay_seconds": 45.0},
+        {"result_timeout": 3.0},
+    ),
+    "corrupt-result": (
+        {"corruptions": 1},
+        {},
+    ),
+    "mixed": (
+        {"kills": 1, "corruptions": 1},
+        {},
+    ),
+}
+
+
+def scenario_spec(name: str, workers: int, nranks: int,
+                  seed: int = 0) -> tuple[ChaosSpec, dict]:
+    """Build the seeded spec and engine overrides for one scenario.
+
+    Task ids are drawn from ``[workers, workers + nranks)``: the
+    engine's start-up ping takes ids ``0..workers-1``, and the next
+    ``nranks`` ids are the first RK stage's per-rank tasks — dispatched
+    as one batch in plain mode and as the (never-empty) boundary batch
+    in pipelined mode, so the same spec lands mid-batch in both.
+    """
+    try:
+        counts, overrides = SCENARIOS[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown chaos scenario {name!r}; "
+            f"pick one of {sorted(SCENARIOS)}"
+        ) from None
+    spec = ChaosSpec.seeded(
+        seed, first_task=workers, last_task=workers + nranks, **counts
+    )
+    return spec, dict(overrides)
+
+
+def run_scenario(
+    name: str,
+    *,
+    ne: int = 2,
+    nranks: int = 4,
+    steps: int = 2,
+    workers: int = 2,
+    pipeline: bool = False,
+    seed: int = 0,
+    faults=None,
+    tracer=None,
+) -> dict:
+    """Run one chaos scenario against the shallow-water model and its
+    serial oracle; return a JSON-friendly report.
+
+    The faulty run uses ``workers`` pool workers with the scenario's
+    seeded :class:`ChaosSpec` injected; the oracle is the same model at
+    ``workers=0``.  The report's ``bitwise_identical`` is the byte-level
+    comparison of the two gathered final states — the acceptance
+    property — alongside the engine's recovery tallies and degrade
+    history so a scenario can also assert *how* it survived (e.g. a
+    kill recovers via respawn, never via whole-pool degrade).
+    """
+    from ..homme.distributed import DistributedShallowWater
+    from ..mesh.cubed_sphere import CubedSphereMesh
+
+    spec, overrides = scenario_spec(name, workers, nranks, seed)
+    mesh = CubedSphereMesh(ne, 4)
+    with DistributedShallowWater(mesh, nranks=nranks) as serial:
+        serial.run_steps(steps)
+        ref = serial.gather_state()
+    with DistributedShallowWater(
+        mesh, nranks=nranks, workers=workers, pipeline=pipeline,
+        tracer=tracer,
+        engine_kwargs={"chaos": spec, "faults": faults, **overrides},
+    ) as chaotic:
+        chaotic.run_steps(steps)
+        got = chaotic.gather_state()
+        desc = chaotic.engine.describe()
+    identical = bool(
+        np.array_equal(ref.h, got.h) and np.array_equal(ref.v, got.v)
+    )
+    return {
+        "scenario": name,
+        "seed": seed,
+        "spec": asdict(spec),
+        "ne": ne,
+        "nranks": nranks,
+        "steps": steps,
+        "workers": workers,
+        "pipeline": pipeline,
+        "engine_overrides": overrides,
+        "bitwise_identical": identical,
+        "pool_active_at_end": desc["active"],
+        "recovery": desc["recovery"],
+        "degrade_reasons": desc["degrade_reasons"],
+        "fault_events": faults.summary() if faults is not None else {},
+    }

@@ -205,6 +205,7 @@ class ParallelHommeKernels:
         validate: bool = False,
         tracer=None,
         engine: ParallelEngine | None = None,
+        engine_kwargs: dict | None = None,
     ) -> None:
         from ..homme.element import ElementGeometry
 
@@ -224,7 +225,8 @@ class ParallelHommeKernels:
         self._ctx_key = register_context(fresh_context_key("homme-chunks"), chunk_geoms)
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else ParallelEngine(
-            workers=workers, validate=validate, tracer=tracer, label="homme-kernels"
+            workers=workers, validate=validate, tracer=tracer,
+            label="homme-kernels", **(engine_kwargs or {}),
         )
 
     # -- kernel surface (matches HommeExecution's callables) ----------------

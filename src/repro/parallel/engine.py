@@ -30,18 +30,37 @@ Large read-only context (element geometries, meshes) never crosses a
 queue: it is published via :func:`register_context` *before* the pool
 forks, so every worker inherits it copy-on-write through ``fork``.
 
+Self-healing (DESIGN.md §12)
+----------------------------
+
+Each worker owns a private task queue and stamps a heartbeat into a
+shared block (:mod:`repro.parallel.supervisor`).  While the driver
+waits on results it also supervises: a worker whose process exits is a
+*crash*, one whose heartbeat goes stale is a *hang*, and one sitting
+on a result past the batch deadline is *overdue*.  Any of the three
+triggers the same local recovery — respawn the slot (the fork inherits
+the registered context exactly as the original did) and re-dispatch
+only the failed worker's in-flight task ids to the survivors.  Results
+carry a CRC32 the driver re-verifies (plus an optional NaN/Inf guard),
+so a corrupted result is re-executed rather than combined.  Because
+tasks are pure functions of payloads the driver still owns, and the
+rank-ordered combine never moves off the driver, every recovery path
+reproduces the serial trajectory bit for bit.
+
 Fallback
 --------
 
 The engine degrades to in-process serial execution of the same task
 functions when ``workers <= 1``, when the platform lacks the ``fork``
-start method, when the pool fails its start-up ping, or after any
-worker dies mid-run.  ``engine.active`` reports which mode is live.
+start method, when the pool fails its start-up ping, or when recovery
+itself is exhausted (the respawn budget runs out or no live worker is
+left to dispatch to).  ``engine.active`` reports which mode is live,
+``fallback_reason`` the newest reason, and ``degrade_kinds`` a
+labelled tally of every degrade this engine ever took.
 """
 
 from __future__ import annotations
 
-import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -51,6 +70,14 @@ import numpy as np
 
 from ..errors import KernelError
 from ..obs.tracer import NULL_TRACER
+from .supervisor import (
+    HEARTBEAT_TIMEOUT,
+    SUPERVISION_TICK,
+    ChaosSpec,
+    WorkerSupervisor,
+    result_crc,
+)
+from .supervisor import _unpack  # noqa: F401  (re-export for back-compat)
 
 __all__ = [
     "ParallelEngine",
@@ -63,8 +90,10 @@ __all__ = [
     "worker_track",
 ]
 
-#: Seconds the driver waits for a single task result before declaring
-#: the pool dead and finishing the call serially.
+#: Seconds the driver waits for a single batch's results before
+#: escalating — under supervision that means killing and respawning the
+#: overdue workers; without it (``supervise=False`` or budget
+#: exhausted) the pool is declared dead and the call finishes serially.
 RESULT_TIMEOUT = 120.0
 
 #: Seconds allowed for the start-up ping that proves the pool works.
@@ -76,14 +105,23 @@ PING_TIMEOUT = 30.0
 #: flight at once.
 PIPELINE_BANKS = 2
 
+#: Attempts per task before a repeatedly corrupted result becomes a
+#: task failure instead of another re-execution.
+MAX_TASK_ATTEMPTS = 3
+
 #: Read-only objects published to workers.  Entries registered before a
 #: pool starts are inherited by its forked workers copy-on-write;
-#: lookups in the driver (serial fallback) read the same dict.
+#: lookups in the driver (serial fallback) read the same dict.  A
+#: *respawned* worker forks from the current driver, so it re-inherits
+#: whatever is registered at respawn time — which is why contexts stay
+#: registered for the life of the model, not just through pool start.
 _CONTEXT: dict[str, object] = {}
 
 
 def available_cores() -> int:
     """Usable core count (cgroup-aware where the platform exposes it)."""
+    import os
+
     try:
         return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
     except (AttributeError, OSError):
@@ -124,7 +162,11 @@ def unregister_context(key: str) -> None:
 
 @dataclass
 class WorkerStats:
-    """Per-worker tallies maintained by the driver."""
+    """Per-worker-slot tallies maintained by the driver.
+
+    A slot's stats accumulate across respawns — the slot is the stable
+    identity, the process behind it may be generation 0, 1, 2, ...
+    """
 
     worker: int
     tasks: int = 0
@@ -132,6 +174,7 @@ class WorkerStats:
     bytes_in: int = 0
     bytes_out: int = 0
     errors: int = 0
+    respawns: int = 0
 
 
 @dataclass
@@ -140,14 +183,39 @@ class _Block:
 
     shm: shared_memory.SharedMemory
     capacity: int
+    owner: set | None = None  # engine's owned-name set, for leak tracking
 
     def close(self, unlink: bool) -> None:
         try:
             self.shm.close()
             if unlink:
                 self.shm.unlink()
+                if self.owner is not None:
+                    self.owner.discard(self.shm.name)
         except (FileNotFoundError, OSError):  # already gone
-            pass
+            if self.owner is not None:
+                self.owner.discard(self.shm.name)
+
+
+@dataclass
+class _TaskRecord:
+    """Driver-side record of one dispatched task.
+
+    Everything needed to re-dispatch the task after a worker failure
+    (``fn``/``meta``/``desc`` — the shared-memory input block stays
+    valid until the whole batch is collected) and to route its result
+    back (``pend``/``idx``).  ``slot`` tracks the worker currently
+    responsible; ``attempt`` counts dispatches, and chaos hooks only
+    fire on attempt 0 so recovery always replays clean.
+    """
+
+    pend: "PendingRun"
+    idx: int
+    fn: object
+    meta: dict
+    desc: tuple | None
+    attempt: int = 0
+    slot: int = -1
 
 
 def _pack(block: _Block | None, arrays: tuple, make) -> tuple[_Block, tuple]:
@@ -175,79 +243,9 @@ def _pack(block: _Block | None, arrays: tuple, make) -> tuple[_Block, tuple]:
     return block, (block.shm.name, tuple(metas))
 
 
-def _unpack(shm: shared_memory.SharedMemory, metas: tuple) -> tuple[np.ndarray, ...]:
-    """Zero-copy views into a peer's block (copy before the next reuse!)."""
-    return tuple(
-        np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf, offset=off)
-        for off, shape, dt in metas
-    )
-
-
 def _ping_task(meta: dict, arr: np.ndarray) -> tuple[np.ndarray]:
     """Start-up health check: echo the payload."""
     return (arr + meta.get("add", 0.0),)
-
-
-# ---------------------------------------------------------------------------
-# Worker side
-# ---------------------------------------------------------------------------
-
-
-def _worker_main(worker_id: int, task_q, result_q) -> None:
-    """Pool worker loop: attach inputs, compute, send results back.
-
-    Inputs arrive through the driver-owned shared-memory blocks;
-    results (whose shapes only the task function knows) return through
-    the result queue.  The driver double-buffers its input blocks per
-    *bank*: a bank's blocks are not repacked until every task of the
-    batch that used them has been collected, so reading from the
-    attached views is race-free even with two batches in flight.
-    """
-    attached: dict[str, shared_memory.SharedMemory] = {}
-    try:
-        while True:
-            item = task_q.get()
-            if item is None:
-                break
-            idx, fn, meta, in_desc = item
-            t0 = time.perf_counter()
-            try:
-                ins: tuple = ()
-                if in_desc is not None:
-                    name, metas = in_desc
-                    shm = attached.get(name)
-                    if shm is None:
-                        # Forked workers share the driver's resource
-                        # tracker, whose cache is a set — this attach-
-                        # side registration is a no-op and the driver's
-                        # unlink-on-close retires the name exactly once.
-                        shm = shared_memory.SharedMemory(name=name)
-                        attached[name] = shm
-                    ins = _unpack(shm, metas)
-                outs = fn(meta, *ins)
-                if not isinstance(outs, (tuple, list)):
-                    outs = (outs,)
-                outs = tuple(np.ascontiguousarray(o) for o in outs)
-                result_q.put(
-                    (idx, worker_id, "ok", outs, t0, time.perf_counter(),
-                     getattr(fn, "__name__", str(fn)))
-                )
-            except BaseException:
-                result_q.put(
-                    (idx, worker_id, "err", traceback.format_exc(), t0,
-                     time.perf_counter(), getattr(fn, "__name__", str(fn)))
-                )
-    finally:
-        for shm in attached.values():
-            try:
-                shm.close()
-            except OSError:
-                pass
-
-
-# ---------------------------------------------------------------------------
-# Driver side
-# ---------------------------------------------------------------------------
 
 
 class PendingRun:
@@ -262,8 +260,9 @@ class PendingRun:
     Between ``submit`` and ``wait`` the driver is free to do other work
     (reassembly, DSS accumulation, further submits) — that window is
     the pipeline's computation/communication overlap.  The payload
-    arrays must not be mutated until ``wait`` returns: the serial
-    fallback recomputes from them if the pool dies mid-flight.
+    arrays must not be mutated until ``wait`` returns: worker recovery
+    re-dispatches from them, and the serial fallback recomputes from
+    them if the pool dies mid-flight.
     """
 
     def __init__(self, engine: "ParallelEngine", fn, payloads,
@@ -275,7 +274,7 @@ class PendingRun:
         self.parallel = parallel
         self.overlapped = False
         self.submitted_at = time.perf_counter()
-        self.timeout = RESULT_TIMEOUT
+        self.timeout = engine.result_timeout
         self.validate = engine.validate  # per-batch override (ping skips)
         self.results: list[tuple | None] = [None] * len(payloads)
         self.remaining = 0  # parallel tasks still in flight
@@ -304,12 +303,45 @@ class ParallelEngine:
         smoke jobs, and paranoid runs.
     tracer:
         :mod:`repro.obs` tracer.  When enabled, each task becomes a
-        span on the ``worker/<i>`` track of the worker that ran it,
-        stamped in wall-clock seconds since the engine started (these
-        are *real* execution spans — the one place the observability
-        layer shows wall time rather than simulated time).
+        span on the ``worker/<i>`` track of the worker that ran it, and
+        recovery actions (crashes, hangs, respawns, corrupt results)
+        become instants on the ``supervisor`` track — all stamped in
+        wall-clock seconds since the engine started.
     label:
         Name used in log lines and trace spans.
+    supervise:
+        Enable the self-healing layer (default).  ``False`` restores
+        the all-or-nothing behaviour: any worker fault degrades the
+        whole pool to serial.
+    heartbeat_timeout:
+        Seconds of heartbeat silence before a live worker is declared
+        hung and respawned.
+    result_timeout:
+        Seconds a batch may wait on results before the driver escalates
+        (kill + respawn + redistribute under supervision; pool death
+        otherwise).  Becomes each :class:`PendingRun`'s ``timeout``.
+    max_respawns:
+        Total respawn budget for this engine's lifetime; exhausted
+        means the machine is sick, so the pool degrades to serial.
+        Defaults to ``max(4, 2 * workers)``.
+    chaos:
+        A :class:`~repro.parallel.supervisor.ChaosSpec` of deterministic
+        injected worker faults (kill / stall / delay / corrupt), keyed
+        by global task id.  Test-only knob driven by
+        :mod:`repro.parallel.chaos`.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; every
+        recovery-worthy observation (worker crash/hang, overdue result,
+        corrupt result) is appended to its event log so one injector
+        narrates the whole faulty run.
+    integrity:
+        Verify the worker-computed CRC32 on every result (default).  A
+        mismatch re-executes the task instead of combining garbage.
+    guard_nonfinite:
+        Additionally treat NaN/Inf in returned float arrays as
+        corruption and re-execute once; a recomputed non-finite result
+        is accepted (it is the function's true output — the serial path
+        would produce it too).
     """
 
     def __init__(
@@ -318,26 +350,66 @@ class ParallelEngine:
         validate: bool = False,
         tracer=None,
         label: str = "parallel",
+        *,
+        supervise: bool = True,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+        result_timeout: float = RESULT_TIMEOUT,
+        max_respawns: int | None = None,
+        chaos: ChaosSpec | None = None,
+        faults=None,
+        integrity: bool = True,
+        guard_nonfinite: bool = False,
     ) -> None:
         self.workers = max(0, int(workers))
         self.validate = bool(validate)
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.label = label
+        self.supervise = bool(supervise)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.result_timeout = float(result_timeout)
+        self.max_respawns = (
+            max(4, 2 * self.workers) if max_respawns is None else int(max_respawns)
+        )
+        self.chaos = chaos
+        self.faults = faults
+        self.integrity = bool(integrity)
+        self.guard_nonfinite = bool(guard_nonfinite)
         self.active = False
         self.fallback_reason: str | None = None
+        #: Labelled tally of every degrade this engine took
+        #: (``startup`` / ``platform`` / ``timeout`` / ``dispatch`` /
+        #: ``respawn-budget`` / ``worker-loss``).
+        self.degrade_kinds: dict[str, int] = {}
+        #: Recovery tallies (mirrored into ``parallel.recovery.*``).
+        self.recovery: dict[str, int] = {
+            "respawns": 0,
+            "crashes": 0,
+            "hangs": 0,
+            "timeouts": 0,
+            "redistributed_tasks": 0,
+            "reexecuted_tasks": 0,
+            "corrupt_results": 0,
+            "nonfinite_results": 0,
+            "pool_degrades": 0,
+        }
         self.stats: list[WorkerStats] = []
         self.calls = 0
         self.tasks_parallel = 0
         self.tasks_serial = 0
         self.validations = 0
-        self._procs: list = []
-        self._task_q = None
+        self.supervisor: WorkerSupervisor | None = None
         self._result_q = None
         #: Shared-memory input blocks, keyed by (bank, payload index).
         self._in_blocks: dict[tuple[int, int], _Block] = {}
+        #: Names of every shared-memory block this engine created and
+        #: has not yet unlinked — the leak-tracking ledger behind
+        #: :meth:`leaked_shm`.
+        self._owned_shm: set[str] = set()
         self._task_seq = 0
-        self._inflight: dict[int, tuple[PendingRun, int]] = {}
+        self._rr = 0  # round-robin cursor over live worker slots
+        self._tasks: dict[int, _TaskRecord] = {}
         self._outstanding: list[PendingRun] = []
+        self._closed = False
         # Pipeline tallies (see collect_parallel_engine / describe()).
         self.pipeline_batches = 0
         self.pipeline_max_depth = 0
@@ -349,11 +421,16 @@ class ParallelEngine:
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _record_degrade(self, kind: str, reason: str) -> None:
+        self.fallback_reason = reason
+        self.degrade_kinds[kind] = self.degrade_kinds.get(kind, 0) + 1
+
     def _try_start(self) -> None:
         import multiprocessing as mp
 
         if "fork" not in mp.get_all_start_methods():
-            self.fallback_reason = "no fork start method on this platform"
+            self._record_degrade(
+                "platform", "no fork start method on this platform")
             return
         ctx = mp.get_context("fork")
         try:
@@ -365,24 +442,18 @@ class ParallelEngine:
             from multiprocessing import resource_tracker
 
             resource_tracker.ensure_running()
-            self._task_q = ctx.SimpleQueue()
             self._result_q = ctx.SimpleQueue()
-            self._procs = [
-                ctx.Process(
-                    target=_worker_main,
-                    args=(w, self._task_q, self._result_q),
-                    daemon=True,
-                    name=f"{self.label}-worker-{w}",
-                )
-                for w in range(self.workers)
-            ]
-            for p in self._procs:
-                p.start()
+            self.supervisor = WorkerSupervisor(
+                ctx, self.workers, self._result_q, self.label, chaos=self.chaos
+            )
+            self._owned_shm.add(self.supervisor.shm_name)
+            for w in range(self.workers):
+                self.supervisor.spawn(w)
             self.stats = [WorkerStats(w) for w in range(self.workers)]
             self.active = True
             self._ping()
         except Exception as exc:  # noqa: BLE001 - any start-up failure => serial
-            self.fallback_reason = f"pool start failed: {exc!r}"
+            self._record_degrade("startup", f"pool start failed: {exc!r}")
             self._shutdown_pool()
             self.active = False
 
@@ -402,33 +473,52 @@ class ParallelEngine:
                 raise KernelError("parallel pool ping returned wrong data")
 
     def close(self) -> None:
-        """Stop the workers and release every shared-memory block."""
+        """Stop the workers and release every shared-memory block.
+
+        Idempotent: closing twice (or letting ``__del__`` run after an
+        explicit close) is a no-op.  Outstanding :class:`PendingRun`\\ s
+        are detached — their ``wait()`` completes serially — and no
+        shared-memory block survives (:meth:`leaked_shm` returns ``[]``).
+        """
+        if self._closed:
+            return
         self._shutdown_pool()
         self.active = False
+        self._closed = True
 
     def _shutdown_pool(self) -> None:
-        self._inflight.clear()
+        self._tasks.clear()
         for p in self._outstanding:
             p.remaining = 0  # missing results are computed serially at wait()
         self._outstanding.clear()
-        if self._task_q is not None:
-            try:
-                for _ in self._procs:
-                    self._task_q.put(None)
-            except (OSError, ValueError):
-                pass
-        for p in self._procs:
-            p.join(timeout=5.0)
-        for p in self._procs:
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=5.0)
-        self._procs = []
+        if self.supervisor is not None:
+            name = self.supervisor.shm_name
+            self.supervisor.shutdown()
+            self._owned_shm.discard(name)
+            self.supervisor = None
         for blk in self._in_blocks.values():
             blk.close(unlink=True)
         self._in_blocks.clear()
-        self._task_q = None
-        self._result_q = None
+        if self._result_q is not None:
+            try:
+                self._result_q.close()
+            except (OSError, AttributeError):
+                pass
+            self._result_q = None
+
+    def leaked_shm(self) -> list[str]:
+        """Names of shared-memory blocks this engine created but never
+        unlinked — the resource-tracker assertion for tests; must be
+        empty after :meth:`close`."""
+        leaked = []
+        for name in sorted(self._owned_shm):
+            try:
+                probe = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            probe.close()
+            leaked.append(name)
+        return leaked
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -437,6 +527,8 @@ class ParallelEngine:
         self.close()
 
     def __del__(self) -> None:  # best-effort tidy-up
+        if getattr(self, "_closed", True):
+            return  # already closed explicitly — nothing to do
         try:
             self._shutdown_pool()
         except Exception:  # noqa: BLE001 - interpreter may be tearing down
@@ -475,6 +567,19 @@ class ParallelEngine:
         self.calls += 1
         return self._submit(fn, payloads)
 
+    def _dispatch_task(self, tid: int) -> None:
+        """Queue task ``tid`` to the next live worker (round-robin)."""
+        rec = self._tasks[tid]
+        slots = self.supervisor.live_slots()
+        if not slots:
+            raise KernelError(
+                f"no live workers left to dispatch to ({self.label})")
+        slot = slots[self._rr % len(slots)]
+        self._rr += 1
+        rec.slot = slot
+        self.supervisor.handles[slot].task_q.put(
+            (tid, rec.attempt, rec.fn, rec.meta, rec.desc))
+
     def _submit(self, fn, payloads) -> PendingRun:
         payloads = list(payloads)
         if not self.active or not payloads:
@@ -487,14 +592,17 @@ class ParallelEngine:
         used = {p.bank for p in self._outstanding}
         bank = next(b for b in range(PIPELINE_BANKS) if b not in used)
         pend = PendingRun(self, fn, payloads, bank=bank, parallel=True)
-        pend.overlapped = bool(self._inflight)
+        pend.overlapped = bool(self._tasks)
         self._outstanding.append(pend)
 
         def make_in(capacity: int) -> _Block:
-            return _Block(
+            blk = _Block(
                 shared_memory.SharedMemory(create=True, size=capacity),
                 capacity,
+                owner=self._owned_shm,
             )
+            self._owned_shm.add(blk.shm.name)
+            return blk
 
         try:
             for idx, (meta, arrays) in enumerate(payloads):
@@ -506,27 +614,34 @@ class ParallelEngine:
                     self._in_blocks[(bank, idx)] = block
                 tid = self._task_seq
                 self._task_seq += 1
-                self._task_q.put((tid, fn, meta, desc))
-                self._inflight[tid] = (pend, idx)
+                self._tasks[tid] = _TaskRecord(pend, idx, fn, meta, desc)
+                self._dispatch_task(tid)
                 pend.remaining += 1
         except Exception as exc:  # noqa: BLE001 - dispatch failure => pool death
-            self._degrade(f"parallel dispatch failed: {exc!r}")
+            self._degrade(f"parallel dispatch failed: {exc!r}", kind="dispatch")
             return pend
-        self.pipeline_max_depth = max(self.pipeline_max_depth, len(self._inflight))
+        self.pipeline_max_depth = max(self.pipeline_max_depth, len(self._tasks))
         if pend.overlapped:
             self.pipeline_batches += 1
             if self.tracer.enabled:
                 self.tracer.instant(
                     "pipeline", f"submit:{getattr(fn, '__name__', fn)}",
                     pend.submitted_at - self._t0, cat="pipeline",
-                    tasks=len(payloads), depth=len(self._inflight),
+                    tasks=len(payloads), depth=len(self._tasks),
                 )
         return pend
 
+    def _supervised(self) -> bool:
+        return self.supervise and self.active and self.supervisor is not None
+
     def _wait(self, pend: PendingRun) -> list[tuple]:
         """Drain results for ``pend`` (routing other batches' results to
-        their owners), finish serially on pool death, raise on task
-        failure, cross-validate when asked.  Fixed payload order."""
+        their owners), supervising the workers while blocked: crashes,
+        hangs, and overdue results trigger respawn + redistribution of
+        only the failed worker's tasks; the pool dies (and the call
+        finishes serially) only when recovery is off or exhausted.
+        Raise on task failure, cross-validate when asked.  Fixed
+        payload order."""
         if pend.done:
             raise KernelError("PendingRun.wait() called twice")
         t_entry = time.perf_counter()
@@ -536,16 +651,33 @@ class ParallelEngine:
         deadline = time.monotonic() + pend.timeout
         try:
             while pend.remaining:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    if self._recover_overdue(pend):
+                        deadline = time.monotonic() + pend.timeout
+                        continue
+                    raise KernelError(
+                        f"parallel pool timed out after {pend.timeout:.0f}s "
+                        f"({self.label}); falling back to serial"
+                    )
+                tick = min(SUPERVISION_TICK, budget) if self._supervised() \
+                    else budget
                 tw = time.perf_counter()
-                item = self._result_get(deadline - time.monotonic(),
-                                        pend.timeout)
+                item = self._poll_result(tick)
                 if pend.overlapped:
                     self.pipeline_wait_seconds += time.perf_counter() - tw
-                self._route(item)
+                if item is not None:
+                    self._route(item)
+                    continue
+                if self._supervised():
+                    if self._supervise_tick():
+                        deadline = time.monotonic() + pend.timeout
+                    if not self.active:
+                        break  # recovery degraded the pool; remaining = 0
         except KernelError as exc:
             # Pool death (timeout, closed pipe): degrade every
             # outstanding batch; missing results are computed serially.
-            self._degrade(str(exc))
+            self._degrade(str(exc), kind="timeout")
         if pend in self._outstanding:
             self._outstanding.remove(pend)
         self._finish_serial(pend)
@@ -565,38 +697,200 @@ class ParallelEngine:
             self._cross_validate(pend.fn, pend.payloads, results)
         return results
 
+    # -- supervision & recovery ---------------------------------------------
+
+    def _supervise_tick(self) -> bool:
+        """One liveness sweep; returns True if any recovery happened."""
+        recovered = False
+        for slot, kind, detail in self.supervisor.failures(self.heartbeat_timeout):
+            if not self.active:
+                break
+            recovered = self._recover_worker(slot, kind, detail) or recovered
+        return recovered
+
+    def _recover_overdue(self, pend: PendingRun) -> bool:
+        """Batch deadline hit: treat the workers owning ``pend``'s
+        still-missing tasks as stalled and recover them.  Returns True
+        if recovery ran and the pool survived (the caller re-arms the
+        deadline); False routes to the legacy pool-death path."""
+        if not self._supervised():
+            return False
+        slots = sorted({
+            r.slot for r in self._tasks.values() if r.pend is pend
+        })
+        if not slots:
+            return False
+        self.recovery["timeouts"] += 1
+        recovered = False
+        for slot in slots:
+            if not self.active:
+                break
+            recovered = self._recover_worker(
+                slot, "overdue",
+                f"worker {slot} holds results overdue past "
+                f"{pend.timeout:.1f}s",
+            ) or recovered
+        return recovered and self.active
+
+    def _recover_worker(self, slot: int, kind: str, detail: str) -> bool:
+        """Local recovery: respawn ``slot`` and redistribute its tasks.
+
+        The failed worker's in-flight task ids — and only those — are
+        re-dispatched (attempt + 1, so chaos hooks stay quiet) to the
+        surviving workers, the fresh respawn included.  Unaffected
+        payloads never notice.  Returns False when the respawn budget
+        is exhausted, which degrades the whole pool instead.
+        """
+        counter = {"crash": "crashes", "hang": "hangs"}.get(kind)
+        if counter is not None:
+            self.recovery[counter] += 1
+        if self.faults is not None:
+            self.faults.record(f"worker_{kind}", worker=slot, detail=detail)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "supervisor", f"{kind}:{worker_track(slot)}",
+                time.perf_counter() - self._t0, cat="recovery",
+                worker=slot, detail=detail,
+            )
+        if self.supervisor.respawns >= self.max_respawns:
+            self._degrade(
+                f"{detail}; respawn budget ({self.max_respawns}) exhausted",
+                kind="respawn-budget",
+            )
+            return False
+        lost = sorted(
+            tid for tid, r in self._tasks.items() if r.slot == slot
+        )
+        try:
+            # A crashed worker is already out of live_slots(), so its
+            # tasks can be redistributed to the survivors *before*
+            # paying the respawn fork — the recompute starts
+            # immediately and the fork overlaps it.  A hung/overdue
+            # worker is still alive (and would be a redistribution
+            # target), so it must be killed-and-replaced first; same
+            # when no survivor is left.
+            live = self.supervisor.live_slots()
+            respawn_first = slot in live or not live
+            if respawn_first:
+                self._respawn_slot(slot, len(lost))
+            for tid in lost:
+                self._tasks[tid].attempt += 1
+                self._dispatch_task(tid)
+                self.recovery["redistributed_tasks"] += 1
+            if not respawn_first:
+                self._respawn_slot(slot, len(lost))
+        except KernelError as exc:
+            self._degrade(
+                f"redistribution after worker {slot} {kind} failed: {exc}",
+                kind="worker-loss",
+            )
+            return False
+        return True
+
+    def _respawn_slot(self, slot: int, redistributed: int) -> None:
+        self.supervisor.respawn(slot)
+        self.recovery["respawns"] += 1
+        if 0 <= slot < len(self.stats):
+            self.stats[slot].respawns += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "supervisor", f"respawn:{worker_track(slot)}",
+                time.perf_counter() - self._t0, cat="recovery",
+                worker=slot, redistributed=redistributed,
+            )
+
+    def _reexecute(self, tid: int, why: str) -> None:
+        """Re-dispatch a task whose result failed an integrity check."""
+        rec = self._tasks[tid]
+        rec.attempt += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "supervisor", f"reexecute:task{tid}",
+                time.perf_counter() - self._t0, cat="recovery",
+                task=tid, why=why, attempt=rec.attempt,
+            )
+        try:
+            self._dispatch_task(tid)
+            self.recovery["reexecuted_tasks"] += 1
+        except KernelError as exc:
+            self._degrade(
+                f"re-execution of task {tid} ({why}) failed: {exc}",
+                kind="worker-loss",
+            )
+
     def _route(self, item) -> None:
-        """Deliver one result-queue item to the batch that owns it."""
-        tid, worker_id, status, data, t0, t1, fn_name = item
-        owner = self._inflight.pop(tid, None)
-        if owner is None:
-            return  # stale result from a batch already degraded to serial
-        pend, idx = owner
-        st = self.stats[worker_id]
+        """Deliver one result-queue item to the batch that owns it,
+        verifying integrity (CRC32, optional NaN/Inf guard) before
+        accepting — a failed check re-executes the task instead."""
+        tid, slot, status, data, crc, t0, t1, fn_name = item
+        rec = self._tasks.get(tid)
+        if rec is None:
+            return  # stale result from a batch already degraded/recovered
+        pend, idx = rec.pend, rec.idx
+        st = self.stats[slot] if 0 <= slot < len(self.stats) else WorkerStats(slot)
+        if status == "err":
+            st.tasks += 1
+            st.busy_seconds += max(0.0, t1 - t0)
+            st.errors += 1
+            del self._tasks[tid]
+            pend.remaining -= 1
+            pend.failures.append(f"task {idx} on worker {slot}:\n{data}")
+            return
+        data = tuple(data)
+        if self.integrity and crc is not None and result_crc(data) != crc:
+            self.recovery["corrupt_results"] += 1
+            if self.faults is not None:
+                self.faults.record("result_corrupt", task=tid, worker=slot)
+            if rec.attempt + 1 >= MAX_TASK_ATTEMPTS:
+                del self._tasks[tid]
+                pend.remaining -= 1
+                pend.failures.append(
+                    f"task {idx} on worker {slot}: result CRC mismatch on "
+                    f"{rec.attempt + 1} attempts"
+                )
+                return
+            self._reexecute(tid, "crc-mismatch")
+            return
+        if self.guard_nonfinite and rec.attempt == 0 and any(
+            np.issubdtype(a.dtype, np.floating) and not np.isfinite(a).all()
+            for a in data
+        ):
+            # Attempt 0 only: a *recomputed* non-finite result is the
+            # function's true output (serial would produce it too).
+            self.recovery["nonfinite_results"] += 1
+            if self.faults is not None:
+                self.faults.record("result_nonfinite", task=tid, worker=slot)
+            self._reexecute(tid, "nonfinite")
+            return
+        del self._tasks[tid]
         st.tasks += 1
         st.busy_seconds += max(0.0, t1 - t0)
         pend.remaining -= 1
-        if status == "err":
-            st.errors += 1
-            pend.failures.append(f"task {idx} on worker {worker_id}:\n{data}")
-            return
-        pend.results[idx] = tuple(data)
+        pend.results[idx] = data
         st.bytes_out += sum(a.nbytes for a in data)
         meta_in = pend.payloads[idx][0]
         st.bytes_in += sum(np.asarray(a).nbytes for a in pend.payloads[idx][1])
         self.tasks_parallel += 1
         if self.tracer.enabled:
             self.tracer.span_at(
-                worker_track(worker_id), fn_name,
+                worker_track(slot), fn_name,
                 t0 - self._t0, t1 - self._t0, cat="parallel",
                 task=idx, **{k: v for k, v in meta_in.items()
                              if isinstance(v, (int, float, str, bool))},
             )
 
-    def _degrade(self, reason: str) -> None:
+    def _degrade(self, reason: str, kind: str = "worker-loss") -> None:
         """Pool death: record why, stop the pool, finish pending work
         serially (``_shutdown_pool`` zeroes every ``remaining``)."""
-        self.fallback_reason = reason
+        self._record_degrade(kind, reason)
+        self.recovery["pool_degrades"] += 1
+        if self.faults is not None:
+            self.faults.record("pool_degrade", kind=kind, reason=reason)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "supervisor", f"degrade:{kind}",
+                time.perf_counter() - self._t0, cat="recovery", reason=reason,
+            )
         pending = list(self._outstanding)
         self._shutdown_pool()
         self.active = False
@@ -631,20 +925,32 @@ class ParallelEngine:
             out.append(tuple(np.asarray(a) for a in res))
         return out
 
-    def _result_get(self, remaining: float, timeout: float = RESULT_TIMEOUT):
-        """Result-queue get with a liveness-aware timeout."""
+    def _poll_result(self, timeout: float):
+        """Result-queue poll: one item, or None after ``timeout``.
+
+        Under supervision the select also watches every live worker's
+        process *sentinel*, so a crash wakes the driver immediately —
+        detection latency is the OS reap, not the supervision tick.
+        (Hangs have no such signal; they wait for the heartbeat
+        deadline.)  A sentinel firing returns None: the caller's
+        supervision sweep classifies and recovers it.
+        """
         import select
 
-        if remaining <= 0:
-            raise KernelError(f"parallel pool timed out ({self.label})")
         reader = self._result_q._reader  # SimpleQueue's underlying pipe
-        ready, _, _ = select.select([reader], [], [], remaining)
-        if not ready:
-            raise KernelError(
-                f"parallel pool timed out after {timeout:.0f}s "
-                f"({self.label}); falling back to serial"
-            )
-        return self._result_q.get()
+        fds = [reader]
+        if self._supervised():
+            for h in self.supervisor.handles:
+                if h is None:
+                    continue
+                try:
+                    fds.append(h.proc.sentinel)
+                except ValueError:  # process object already closed
+                    pass
+        ready, _, _ = select.select(fds, [], [], max(0.0, timeout))
+        if reader in ready:
+            return self._result_q.get()
+        return None
 
     def overlap_fraction(self) -> float:
         """Fraction of pipelined driver time spent doing useful work
@@ -677,7 +983,10 @@ class ParallelEngine:
         return {
             "workers": self.workers,
             "active": self.active,
+            "supervised": self.supervise,
             "fallback_reason": self.fallback_reason,
+            "degrade_reasons": dict(self.degrade_kinds),
+            "recovery": dict(self.recovery),
             "calls": self.calls,
             "tasks_parallel": self.tasks_parallel,
             "tasks_serial": self.tasks_serial,
@@ -692,7 +1001,8 @@ class ParallelEngine:
             "per_worker": [
                 {"worker": s.worker, "tasks": s.tasks,
                  "busy_seconds": s.busy_seconds, "bytes_in": s.bytes_in,
-                 "bytes_out": s.bytes_out, "errors": s.errors}
+                 "bytes_out": s.bytes_out, "errors": s.errors,
+                 "respawns": s.respawns}
                 for s in self.stats
             ],
         }

@@ -1,0 +1,450 @@
+"""Worker supervision: heartbeats, liveness, respawn, and chaos hooks.
+
+The engine's original fault story was all-or-nothing: any worker fault
+killed the whole pool and degraded every outstanding batch to serial,
+throwing away the multi-core speedup for the rest of the run.  The
+full-machine runs the paper (and the 40-million-core follow-on, Duan
+et al.) describe survive *because* a failed node is handled locally:
+detect, replace, re-issue the lost work, keep going.
+
+This module is the driver-side half of that story plus everything that
+runs *inside* a worker process:
+
+- **Heartbeats.**  Every worker runs a daemon thread that stamps
+  ``time.monotonic()`` into its slot of a driver-owned shared-memory
+  heartbeat block every :data:`HEARTBEAT_INTERVAL` seconds.  On Linux
+  ``CLOCK_MONOTONIC`` is system-wide, so the driver can compare worker
+  stamps against its own clock directly.
+- **Liveness.**  :meth:`WorkerSupervisor.failures` classifies each
+  worker as *crashed* (``Process.exitcode`` is set — the OS reaped it)
+  or *hung* (alive but its heartbeat is older than the deadline — a
+  stuck or stalled process).  The engine decides what to do about it.
+- **Respawn.**  :meth:`WorkerSupervisor.respawn` replaces a failed
+  worker in the same slot with a fresh fork (generation + 1).  The
+  fork-inherited context registry (:func:`repro.parallel.engine
+  .register_context`) still holds every geometry the driver registered,
+  so the replacement worker re-inherits the exact same read-only
+  context the original had — no re-registration protocol needed.
+- **Chaos hooks.**  :class:`ChaosSpec` is the deterministic fault
+  schedule the chaos harness (:mod:`repro.parallel.chaos`) injects:
+  self-SIGKILL, heartbeat stall, result delay, and result bit-flips,
+  all keyed by the engine's global task id.  Hooks only fire on a
+  task's *first* dispatch (``attempt == 0``) — mirroring the
+  fire-exactly-once rule of
+  :meth:`repro.resilience.faults.FaultInjector.state_flips_at` — so a
+  redistributed task re-executes clean and recovery converges.
+
+Result integrity rides along: :func:`result_crc` is the CRC32 the
+worker stamps on every result tuple and the driver re-computes before
+accepting it, which is what turns a bit flipped in transit into a
+detected-and-re-executed task instead of a silently corrupted combine.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "HEARTBEAT_INTERVAL",
+    "HEARTBEAT_TIMEOUT",
+    "SUPERVISION_TICK",
+    "ChaosSpec",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "result_crc",
+]
+
+#: Seconds between heartbeat stamps inside each worker.
+HEARTBEAT_INTERVAL = 0.1
+
+#: Default driver-side deadline: a worker whose newest heartbeat is
+#: older than this is declared hung.  Generous — the heartbeat thread
+#: keeps beating through long kernels (numpy releases the GIL, and the
+#: interpreter context-switches pure-Python code every few ms), so only
+#: a genuinely wedged process goes quiet this long.
+HEARTBEAT_TIMEOUT = 10.0
+
+#: Seconds between supervision checks while the driver waits on
+#: results.  Bounds fault-detection latency; costs nothing while
+#: results are flowing (the poll returns as soon as data is ready).
+SUPERVISION_TICK = 0.2
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic worker-fault schedule, keyed by global task id.
+
+    Task ids are assigned by the driver in dispatch order (the ping
+    batch takes ids ``0..workers-1``), so a spec names exact points in
+    the run the way :class:`~repro.resilience.faults.BitFlip` names the
+    Nth DMA transfer.  Every hook fires only on a task's first dispatch
+    (``attempt == 0``): once the engine redistributes or re-executes a
+    task, the replay is clean.
+
+    ``kill_tasks`` self-deliver ``SIGKILL`` before computing (the crash
+    lands mid-batch, never mid-queue-write, so the shared result pipe
+    stays intact — the same reason real chaos tools kill between
+    I/O operations).  ``stall_tasks`` stop the worker's heartbeat
+    thread and sleep, modeling a wedged process the driver can only
+    detect by silence.  ``delay_tasks`` sleep *after* computing but
+    before replying — a healthy worker whose result misses the batch
+    deadline.  ``corrupt_tasks`` flip one bit of the first float64
+    result array *after* the integrity CRC is computed, modeling
+    corruption in transit.
+    """
+
+    kill_tasks: tuple[int, ...] = ()
+    stall_tasks: tuple[int, ...] = ()
+    stall_seconds: float = 30.0
+    delay_tasks: tuple[tuple[int, float], ...] = ()
+    corrupt_tasks: tuple[int, ...] = ()
+    corrupt_word: int = 0
+    corrupt_bit: int = 63
+
+    @staticmethod
+    def seeded(
+        seed: int,
+        first_task: int,
+        last_task: int,
+        kills: int = 0,
+        stalls: int = 0,
+        delays: int = 0,
+        corruptions: int = 0,
+        stall_seconds: float = 30.0,
+        delay_seconds: float = 3.0,
+    ) -> "ChaosSpec":
+        """Draw a reproducible schedule over ``[first_task, last_task)``.
+
+        Two calls with the same arguments build the identical spec (the
+        same seeded-RNG contract as :class:`FaultInjector`); distinct
+        task ids are drawn for every fault so no task is double-booked.
+        """
+        need = kills + stalls + delays + corruptions
+        span = last_task - first_task
+        if need > span:
+            raise ValueError(
+                f"cannot schedule {need} faults over {span} task ids"
+            )
+        rng = np.random.default_rng(seed)
+        picks = first_task + rng.permutation(span)[:need]
+        k, s, d = kills, kills + stalls, kills + stalls + delays
+        return ChaosSpec(
+            kill_tasks=tuple(int(t) for t in picks[:k]),
+            stall_tasks=tuple(int(t) for t in picks[k:s]),
+            stall_seconds=stall_seconds,
+            delay_tasks=tuple((int(t), delay_seconds) for t in picks[s:d]),
+            corrupt_tasks=tuple(int(t) for t in picks[d:need]),
+        )
+
+
+def result_crc(arrays: tuple) -> int:
+    """CRC32 over every result array's bytes, in tuple order."""
+    crc = 0
+    for a in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(a).data, crc)
+    return crc & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _unpack(shm: shared_memory.SharedMemory, metas: tuple) -> tuple[np.ndarray, ...]:
+    """Zero-copy views into a peer's block (copy before the next reuse!)."""
+    return tuple(
+        np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf, offset=off)
+        for off, shape, dt in metas
+    )
+
+
+def _heartbeat_loop(hb_view: np.ndarray, slot: int, stop: threading.Event) -> None:
+    while not stop.is_set():
+        hb_view[slot] = time.monotonic()
+        stop.wait(HEARTBEAT_INTERVAL)
+
+
+def _chaos_pre(spec: ChaosSpec | None, tid: int, attempt: int,
+               hb_stop: threading.Event) -> None:
+    """Faults that fire before the task function runs (kill, stall)."""
+    if spec is None or attempt > 0:
+        return
+    if tid in spec.kill_tasks:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if tid in spec.stall_tasks:
+        hb_stop.set()  # go silent: the driver can only see missed beats
+        time.sleep(spec.stall_seconds)
+
+
+def _chaos_post(spec: ChaosSpec | None, tid: int, attempt: int,
+                outs: tuple) -> None:
+    """Faults that fire after compute (delay, corrupt-after-CRC)."""
+    if spec is None or attempt > 0:
+        return
+    for t, seconds in spec.delay_tasks:
+        if t == tid:
+            time.sleep(seconds)
+    if tid in spec.corrupt_tasks:
+        from ..resilience.faults import flip_bit
+
+        for o in outs:
+            if o.dtype == np.float64 and o.size:
+                flip_bit(o, spec.corrupt_word, spec.corrupt_bit)
+                break
+
+
+def _worker_main(slot: int, generation: int, task_q, result_q,
+                 hb_desc: tuple[str, int], chaos: ChaosSpec | None) -> None:
+    """Pool worker loop: attach inputs, compute, send results back.
+
+    Inputs arrive through the driver-owned shared-memory blocks;
+    results (whose shapes only the task function knows) return through
+    the result queue with a CRC32 stamp over their bytes.  The driver
+    double-buffers its input blocks per *bank*: a bank's blocks are not
+    repacked until every task of the batch that used them has been
+    collected, so reading from the attached views is race-free even
+    with two batches in flight — and a *redistributed* task can re-read
+    the very same block from a different worker.
+
+    A daemon heartbeat thread stamps ``time.monotonic()`` into this
+    worker's slot of the shared heartbeat block; the driver declares
+    the worker hung when the stamp goes stale.
+    """
+    attached: dict[str, shared_memory.SharedMemory] = {}
+    hb_name, nslots = hb_desc
+    hb = shared_memory.SharedMemory(name=hb_name)
+    hb_view = np.ndarray((nslots,), dtype=np.float64, buffer=hb.buf)
+    hb_stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop, args=(hb_view, slot, hb_stop),
+        daemon=True, name=f"heartbeat-{slot}",
+    ).start()
+    try:
+        while True:
+            item = task_q.get()
+            if item is None:
+                break
+            tid, attempt, fn, meta, in_desc = item
+            t0 = time.perf_counter()
+            try:
+                _chaos_pre(chaos, tid, attempt, hb_stop)
+                ins: tuple = ()
+                if in_desc is not None:
+                    name, metas = in_desc
+                    shm = attached.get(name)
+                    if shm is None:
+                        # Forked workers share the driver's resource
+                        # tracker, whose cache is a set — this attach-
+                        # side registration is a no-op and the driver's
+                        # unlink-on-close retires the name exactly once.
+                        shm = shared_memory.SharedMemory(name=name)
+                        attached[name] = shm
+                    ins = _unpack(shm, metas)
+                outs = fn(meta, *ins)
+                if not isinstance(outs, (tuple, list)):
+                    outs = (outs,)
+                outs = tuple(np.ascontiguousarray(o) for o in outs)
+                crc = result_crc(outs)
+                _chaos_post(chaos, tid, attempt, outs)
+                result_q.put(
+                    (tid, slot, "ok", outs, crc, t0, time.perf_counter(),
+                     getattr(fn, "__name__", str(fn)))
+                )
+            except BaseException:
+                result_q.put(
+                    (tid, slot, "err", traceback.format_exc(), None, t0,
+                     time.perf_counter(), getattr(fn, "__name__", str(fn)))
+                )
+    finally:
+        hb_stop.set()
+        for shm in attached.values():
+            try:
+                shm.close()
+            except OSError:
+                pass
+        try:
+            hb.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerHandle:
+    """One worker slot: the live process and its private task queue.
+
+    Each worker owns a dedicated task queue (instead of the original
+    shared queue) so the driver always knows which in-flight tasks die
+    with a worker — the redistribution set — and so a worker killed
+    mid-``get`` can only poison its *own* queue, which is discarded at
+    respawn along with the process.
+    """
+
+    slot: int
+    generation: int
+    proc: object
+    task_q: object
+
+
+class WorkerSupervisor:
+    """Owns the worker processes of one engine: spawn, watch, respawn.
+
+    The supervisor holds the heartbeat shared-memory block (one float64
+    stamp per slot) and the per-slot :class:`WorkerHandle` list.  It
+    makes *observations* (:meth:`failures`) and carries out *actions*
+    (:meth:`respawn`, :meth:`shutdown`); the recovery policy — what to
+    redistribute, when to give up and degrade — stays in the engine.
+    """
+
+    def __init__(self, ctx, nslots: int, result_q, label: str,
+                 chaos: ChaosSpec | None = None) -> None:
+        self.ctx = ctx
+        self.nslots = nslots
+        self.result_q = result_q
+        self.label = label
+        self.chaos = chaos
+        self.hb = shared_memory.SharedMemory(create=True, size=8 * max(1, nslots))
+        self.hb_view = np.ndarray((nslots,), dtype=np.float64, buffer=self.hb.buf)
+        self.handles: list[WorkerHandle | None] = [None] * nslots
+        self.respawns = 0
+        self._closed = False
+
+    @property
+    def shm_name(self) -> str:
+        return self.hb.name
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def spawn(self, slot: int) -> WorkerHandle:
+        """Start a fresh worker in ``slot`` (generation bumps on reuse)."""
+        old = self.handles[slot]
+        generation = old.generation + 1 if old is not None else 0
+        task_q = self.ctx.SimpleQueue()
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(slot, generation, task_q, self.result_q,
+                  (self.hb.name, self.nslots), self.chaos),
+            daemon=True,
+            name=f"{self.label}-worker-{slot}.g{generation}",
+        )
+        # Stamp the slot *before* the fork so a fresh worker is never
+        # declared hung in the window before its first own heartbeat.
+        self.hb_view[slot] = time.monotonic()
+        proc.start()
+        handle = WorkerHandle(slot, generation, proc, task_q)
+        self.handles[slot] = handle
+        return handle
+
+    def respawn(self, slot: int) -> WorkerHandle:
+        """Replace the worker in ``slot``: reap the old, fork a new.
+
+        The old worker's private task queue dies with it — the engine
+        redistributes its in-flight tasks explicitly.  The replacement
+        forks from the *current* driver, so it inherits the context
+        registry exactly as registered (copy-on-write), same as the
+        original pool start.
+        """
+        old = self.handles[slot]
+        if old is not None:
+            self._reap(old)
+        handle = self.spawn(slot)
+        self.respawns += 1
+        return handle
+
+    def _reap(self, handle: WorkerHandle) -> None:
+        proc = handle.proc
+        try:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            handle.task_q.close()
+        except (OSError, AttributeError):
+            pass
+        try:
+            proc.close()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+    def shutdown(self) -> None:
+        """Stop every worker and release the heartbeat block."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            if handle is None:
+                continue
+            try:
+                handle.task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        for handle in self.handles:
+            if handle is None:
+                continue
+            try:
+                handle.proc.join(timeout=5.0)
+            except (OSError, ValueError):
+                pass
+            self._reap(handle)
+        self.handles = [None] * self.nslots
+        self.hb_view = None
+        try:
+            self.hb.close()
+            self.hb.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    # -- observation --------------------------------------------------------
+
+    def heartbeat_age(self, slot: int) -> float:
+        """Seconds since ``slot``'s worker last stamped its heartbeat."""
+        return time.monotonic() - float(self.hb_view[slot])
+
+    def live_slots(self) -> list[int]:
+        """Slots whose worker process is currently running."""
+        return [
+            h.slot for h in self.handles
+            if h is not None and h.proc.exitcode is None
+        ]
+
+    def failures(self, heartbeat_timeout: float) -> list[tuple[int, str, str]]:
+        """Classify every unhealthy worker as ``(slot, kind, detail)``.
+
+        ``kind`` is ``"crash"`` (the OS reaped the process) or
+        ``"hang"`` (alive but heartbeat older than the deadline).
+        """
+        out: list[tuple[int, str, str]] = []
+        for h in self.handles:
+            if h is None:
+                continue
+            code = h.proc.exitcode
+            if code is not None:
+                out.append((
+                    h.slot, "crash",
+                    f"worker {h.slot} (gen {h.generation}) exited with "
+                    f"code {code}",
+                ))
+                continue
+            age = self.heartbeat_age(h.slot)
+            if age > heartbeat_timeout:
+                out.append((
+                    h.slot, "hang",
+                    f"worker {h.slot} (gen {h.generation}) missed heartbeats "
+                    f"for {age:.1f}s (deadline {heartbeat_timeout:.1f}s)",
+                ))
+        return out

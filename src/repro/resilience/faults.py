@@ -210,6 +210,20 @@ class FaultInjector:
             )
         return flips
 
+    # -- external observations ----------------------------------------------
+
+    def record(self, kind: str, **detail) -> FaultEvent:
+        """Append an externally observed fault to the event log.
+
+        The supervised parallel engine reports what it *saw* — worker
+        crashes, hangs, overdue results, corrupt result blocks — through
+        the same injector that scheduled the chaos, so one ``summary()``
+        narrates cause and effect of a whole faulty run.
+        """
+        ev = FaultEvent(kind, detail)
+        self.events.append(ev)
+        return ev
+
     # -- reporting ----------------------------------------------------------
 
     def summary(self) -> dict[str, int]:

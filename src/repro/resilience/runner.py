@@ -40,6 +40,10 @@ class RunReport:
     checkpoints: int = 0
     resteps: int = 0           # steps re-executed after rollbacks
     fault_summary: dict = field(default_factory=dict)
+    #: ``engine.recovery`` snapshot when the model runs on a supervised
+    #: parallel pool (worker respawns, redistributed tasks, ...); empty
+    #: for serial models.
+    engine_recovery: dict = field(default_factory=dict)
     log: list[str] = field(default_factory=list)
 
 
@@ -147,6 +151,9 @@ class ResilientRunner:
                     )
         if self.faults is not None:
             self.report.fault_summary = self.faults.summary()
+        engine = getattr(self.model, "engine", None)
+        if engine is not None:
+            self.report.engine_recovery = dict(engine.recovery)
         return self.report
 
     def _rollback(self, problems: list[str]) -> None:

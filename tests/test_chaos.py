@@ -1,0 +1,198 @@
+"""Chaos tests for the self-healing parallel engine (DESIGN.md §12).
+
+The property under test everywhere: any injected worker fault — crash,
+hang, overdue result, corrupted result block — is recovered *locally*
+(respawn + redistribute + re-execute, never whole-pool degrade), and
+the trajectory stays **bitwise identical** to the serial run, in both
+plain-parallel and pipelined dispatch.  Scenarios are seeded and
+deterministic, mirroring the FaultInjector contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.homme.distributed import DistributedShallowWater
+from repro.mesh.cubed_sphere import CubedSphereMesh
+from repro.obs import MetricsRegistry, collect_parallel_engine
+from repro.parallel import ChaosSpec, ParallelEngine, run_scenario, scenario_spec
+from repro.parallel.engine import _ping_task
+from repro.resilience import (
+    BitFlip,
+    Checkpointer,
+    FaultInjector,
+    ResilientRunner,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh2():
+    return CubedSphereMesh(2, 4)
+
+
+class TestChaosSpec:
+    def test_seeded_is_deterministic(self):
+        a = ChaosSpec.seeded(42, 2, 10, kills=1, stalls=1, corruptions=2)
+        b = ChaosSpec.seeded(42, 2, 10, kills=1, stalls=1, corruptions=2)
+        assert a == b
+
+    def test_seeded_draws_distinct_task_ids(self):
+        spec = ChaosSpec.seeded(0, 4, 12, kills=2, stalls=2, delays=2,
+                                corruptions=2)
+        tids = (spec.kill_tasks + spec.stall_tasks + spec.corrupt_tasks
+                + tuple(t for t, _ in spec.delay_tasks))
+        assert len(tids) == len(set(tids)) == 8
+        assert all(4 <= t < 12 for t in tids)
+
+    def test_overbooked_span_raises(self):
+        with pytest.raises(ValueError, match="cannot schedule"):
+            ChaosSpec.seeded(0, 0, 3, kills=2, corruptions=2)
+
+    def test_unknown_scenario_raises(self):
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="unknown chaos scenario"):
+            scenario_spec("bogus", workers=2, nranks=4)
+
+
+class TestScenarioRecovery:
+    """Each scenario completes bitwise identical to serial with the
+    expected recovery action and zero whole-pool degrades."""
+
+    @pytest.mark.parametrize("name,expect", [
+        ("kill-worker", "crashes"),
+        ("corrupt-result", "corrupt_results"),
+    ])
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_fast_scenarios_plain_and_pipelined(self, name, expect, pipeline):
+        rep = run_scenario(name, workers=2, seed=0, pipeline=pipeline)
+        assert rep["bitwise_identical"]
+        assert rep["recovery"][expect] >= 1
+        assert rep["recovery"]["pool_degrades"] == 0
+        assert rep["pool_active_at_end"]
+
+    def test_stall_heartbeat_recovers(self):
+        rep = run_scenario("stall-heartbeat", workers=2, seed=0)
+        assert rep["bitwise_identical"]
+        assert rep["recovery"]["hangs"] >= 1
+        assert rep["recovery"]["respawns"] >= 1
+        assert rep["recovery"]["pool_degrades"] == 0
+
+    def test_delay_result_past_timeout_recovers(self):
+        rep = run_scenario("delay-result", workers=2, seed=0)
+        assert rep["bitwise_identical"]
+        assert rep["recovery"]["timeouts"] >= 1
+        assert rep["recovery"]["respawns"] >= 1
+        assert rep["recovery"]["pool_degrades"] == 0
+
+    def test_mixed_faults_recover(self):
+        rep = run_scenario("mixed", workers=2, seed=0)
+        assert rep["bitwise_identical"]
+        assert rep["recovery"]["crashes"] >= 1
+        assert rep["recovery"]["corrupt_results"] >= 1
+        assert rep["recovery"]["pool_degrades"] == 0
+
+    def test_seeded_scenarios_are_reproducible(self):
+        a = run_scenario("kill-worker", workers=2, seed=3)
+        b = run_scenario("kill-worker", workers=2, seed=3)
+        assert a["spec"] == b["spec"]
+        assert a["bitwise_identical"] and b["bitwise_identical"]
+
+    def test_fault_injector_narrates_engine_recovery(self):
+        """The engine reports what it saw into the same FaultInjector
+        that could be scheduling network faults — one event log for a
+        whole faulty run."""
+        fi = FaultInjector(seed=0)
+        rep = run_scenario("kill-worker", workers=2, seed=0, faults=fi)
+        assert rep["bitwise_identical"]
+        assert rep["fault_events"].get("worker_crash", 0) >= 1
+
+
+class TestKillOneOfThree:
+    def test_kill_one_of_three_respawns_without_degrade(self):
+        """Acceptance criterion: worker death no longer degrades
+        unaffected payloads — >= 1 respawn in parallel.recovery.respawns
+        and zero whole-pool degrades; every result still correct."""
+        spec = ChaosSpec(kill_tasks=(4,))  # ping takes tids 0..2
+        with ParallelEngine(workers=3, chaos=spec) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            outs = e.run(_ping_task, [
+                ({"add": float(i)}, (np.arange(6.0),)) for i in range(9)
+            ])
+            for i, (out,) in enumerate(outs):
+                assert np.array_equal(out, np.arange(6.0) + i)
+            assert e.active
+            assert e.recovery["respawns"] >= 1
+            assert e.recovery["crashes"] >= 1
+            assert e.recovery["redistributed_tasks"] >= 1
+            assert e.recovery["pool_degrades"] == 0
+            reg = collect_parallel_engine(MetricsRegistry("chaos"), e)
+            assert reg.value("parallel.recovery.respawns") >= 1
+            assert reg.value("parallel.recovery.pool_degrades") == 0
+            assert sum(s.respawns for s in e.stats) >= 1
+
+
+class TestResilientRunnerParallel:
+    """Injected *state* faults roll back a parallel run via checkpoint
+    restore while the engine keeps its pool — the integration of
+    repro.resilience with repro.parallel."""
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_sdc_rollback_of_parallel_run_matches_serial(
+            self, mesh2, tmp_path, pipeline):
+        ref = DistributedShallowWater(mesh2, nranks=4)
+        ref.run_steps(3)
+        gref = ref.gather_state()
+
+        fi = FaultInjector(
+            seed=5,
+            bitflips=[BitFlip(step=1, field_name="h", rank=1, word=7, bit=63)],
+        )
+        with DistributedShallowWater(
+            mesh2, nranks=4, dt=ref.dt, workers=2, pipeline=pipeline,
+            faults=fi, engine_kwargs={"faults": fi},
+        ) as m:
+            runner = ResilientRunner(
+                m, Checkpointer(tmp_path, cadence=1), faults=fi)
+            report = runner.run(3)
+            got = m.gather_state()
+            engine_active = m.engine.active
+
+        assert report.rollbacks == 1
+        assert report.resteps >= 1
+        assert report.fault_summary.get("bitflip") == 1
+        assert report.engine_recovery  # folded from the supervised engine
+        assert np.array_equal(gref.h, got.h)
+        assert np.array_equal(gref.v, got.v)
+        assert engine_active  # rollback never cost the pool
+
+    def test_worker_kill_and_sdc_in_one_run(self, mesh2, tmp_path):
+        """Both recovery systems in one run: a chaos worker kill handled
+        by the supervisor AND a state bit-flip handled by checkpoint
+        rollback — one injector narrates both, final state bitwise."""
+        ref = DistributedShallowWater(mesh2, nranks=4)
+        ref.run_steps(3)
+        gref = ref.gather_state()
+
+        fi = FaultInjector(
+            seed=9,
+            bitflips=[BitFlip(step=2, field_name="h", rank=0, word=3, bit=63)],
+        )
+        spec, _ = scenario_spec("kill-worker", workers=2, nranks=4, seed=1)
+        with DistributedShallowWater(
+            mesh2, nranks=4, dt=ref.dt, workers=2,
+            faults=fi, engine_kwargs={"chaos": spec, "faults": fi},
+        ) as m:
+            runner = ResilientRunner(
+                m, Checkpointer(tmp_path, cadence=1), faults=fi)
+            report = runner.run(3)
+            got = m.gather_state()
+            recovery = dict(m.engine.recovery)
+
+        assert report.rollbacks == 1
+        assert recovery["respawns"] >= 1
+        assert recovery["pool_degrades"] == 0
+        assert report.fault_summary.get("worker_crash", 0) >= 1
+        assert report.fault_summary.get("bitflip") == 1
+        assert np.array_equal(gref.h, got.h)
+        assert np.array_equal(gref.v, got.v)

@@ -34,6 +34,31 @@ def _boom_task(meta, arr):
     raise RuntimeError("intentional task failure")
 
 
+def _sleepy_task(meta, arr):
+    import time
+
+    time.sleep(meta.get("sleep", 0.0))
+    return (arr + 1.0,)
+
+
+def _nan_task(meta, arr):
+    out = arr.copy()
+    out[0] = np.nan
+    return (out,)
+
+
+def _sleep_once_task(meta, arr):
+    """Sleeps long on its first execution only (flag file marks it),
+    modeling a one-off stall the supervisor must recover from."""
+    import os
+    import time
+
+    if not os.path.exists(meta["flag"]):
+        open(meta["flag"], "w").close()
+        time.sleep(meta["sleep"])
+    return (arr + 1.0,)
+
+
 def _noisy_prim_state(ne=4, nlev=8, qsize=2, seed=7):
     mesh = CubedSphereMesh(ne, 4)
     geom = ElementGeometry(mesh)
@@ -102,6 +127,138 @@ class TestEngineBasics:
         e.close()
         e.close()
         assert not e.active
+
+
+class TestSelfHealing:
+    """The supervision layer's engine-level behaviour (DESIGN.md §12);
+    whole-trajectory chaos scenarios live in test_chaos.py."""
+
+    def test_close_with_outstanding_pending_is_leak_free(self):
+        """Satellite: closing an engine with a batch still in flight
+        must strand no shared-memory block (resource-tracker
+        assertion), and the PendingRun still completes serially."""
+        e = ParallelEngine(workers=2)
+        pend = e.submit(_ping_task, [
+            ({"add": float(i)}, (np.arange(4.0),)) for i in range(3)
+        ])
+        e.close()
+        assert e.leaked_shm() == []
+        e.close()  # idempotent
+        e.__del__()  # after close: a no-op, not a crash
+        for i, (out,) in enumerate(pend.wait()):
+            assert np.array_equal(out, np.arange(4.0) + i)
+        assert not e.active
+
+    def test_del_without_close_releases_blocks(self):
+        e = ParallelEngine(workers=2)
+        e.run(_ping_task, [({"add": 1.0}, (np.arange(8.0),))] * 3)
+        owned = set(e._owned_shm)
+        assert owned  # heartbeat block + input blocks
+        e.__del__()
+        assert e.leaked_shm() == []
+
+    def test_unsupervised_result_timeout_degrades_whole_pool(self):
+        """Satellite: the legacy mid-batch RESULT_TIMEOUT path — with
+        supervision off, an overdue batch is pool death, and the call
+        completes serially."""
+        with ParallelEngine(workers=2, supervise=False,
+                            result_timeout=0.5) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            outs = e.run(_sleepy_task, [({"sleep": 2.0}, (np.arange(3.0),))])
+            assert np.array_equal(outs[0][0], np.arange(3.0) + 1.0)
+            assert not e.active
+            assert "timed out" in e.fallback_reason
+            assert e.degrade_kinds.get("timeout") == 1
+            assert e.recovery["pool_degrades"] == 1
+
+    def test_supervised_overdue_result_recovers_without_degrade(self, tmp_path):
+        """The same overdue batch under supervision: the stalled worker
+        is killed mid-sleep and its task re-issued (the re-execution
+        runs clean) — the pool survives."""
+        with ParallelEngine(workers=2, result_timeout=1.0) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            meta = {"flag": str(tmp_path / "stalled"), "sleep": 60.0}
+            outs = e.run(_sleep_once_task, [(meta, (np.arange(3.0),))])
+            assert np.array_equal(outs[0][0], np.arange(3.0) + 1.0)
+            assert e.active
+            assert e.recovery["timeouts"] >= 1
+            assert e.recovery["respawns"] >= 1
+            assert e.recovery["pool_degrades"] == 0
+
+    def test_stale_result_after_recovery_is_dropped(self):
+        """Satellite: _route must drop results whose task id is no
+        longer tracked (a batch already degraded or re-issued)."""
+        from repro.parallel.supervisor import result_crc
+
+        with ParallelEngine(workers=2) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            before = e.tasks_parallel
+            data = (np.zeros(3),)
+            e._route((10_000, 0, "ok", data, result_crc(data),
+                      0.0, 0.0, "stale"))
+            assert e.tasks_parallel == before  # silently dropped
+            outs = e.run(_ping_task, [({"add": 1.0}, (np.arange(3.0),))])
+            assert np.array_equal(outs[0][0], np.arange(3.0) + 1.0)
+
+    def test_startup_degrade_reason_is_labelled(self, monkeypatch):
+        """Satellite: degrade reasons become labelled counters in
+        describe() and metrics, not just a last-reason string."""
+        def broken_ping(self):
+            raise KernelError("simulated startup failure")
+
+        monkeypatch.setattr(ParallelEngine, "_ping", broken_ping)
+        e = ParallelEngine(workers=2)
+        assert e.degrade_kinds == {"startup": 1}
+        assert e.describe()["degrade_reasons"] == {"startup": 1}
+        reg = collect_parallel_engine(MetricsRegistry("par"), e)
+        assert reg.value("parallel.degrade.reason.startup") == 1
+        e.close()
+
+    def test_nonfinite_guard_reexecutes_then_accepts(self):
+        """A NaN result is re-executed once; a *recomputed* NaN is the
+        function's true output and must be accepted (serial would
+        produce it too) — no infinite re-execution loop."""
+        with ParallelEngine(workers=2, guard_nonfinite=True) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            (out,), = e.run(_nan_task, [({}, (np.arange(3.0),))])
+            assert np.isnan(out[0])
+            assert e.recovery["nonfinite_results"] == 1
+            assert e.recovery["reexecuted_tasks"] == 1
+            assert e.active
+
+    def test_respawn_budget_exhaustion_degrades(self):
+        """Recovery gives up when the machine looks sick: respawn
+        budget 0 turns the first crash into a whole-pool degrade, and
+        the batch still completes serially."""
+        from repro.parallel import ChaosSpec
+
+        spec = ChaosSpec(kill_tasks=(2,))  # first post-ping task
+        with ParallelEngine(workers=2, chaos=spec, max_respawns=0) as e:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            outs = e.run(_ping_task, [
+                ({"add": float(i)}, (np.arange(4.0),)) for i in range(4)
+            ])
+            for i, (out,) in enumerate(outs):
+                assert np.array_equal(out, np.arange(4.0) + i)
+            assert not e.active
+            assert e.degrade_kinds.get("respawn-budget") == 1
+            assert e.recovery["crashes"] >= 1
+            assert e.recovery["respawns"] == 0
+        assert e.leaked_shm() == []
+
+    def test_recovery_metrics_all_keys_present(self):
+        with ParallelEngine(workers=2) as e:
+            reg = collect_parallel_engine(MetricsRegistry("par"), e)
+        for key in ("respawns", "crashes", "hangs", "timeouts",
+                    "redistributed_tasks", "reexecuted_tasks",
+                    "corrupt_results", "nonfinite_results",
+                    "pool_degrades"):
+            assert reg.value(f"parallel.recovery.{key}") == 0
 
 
 class TestPipelineSubmit:
