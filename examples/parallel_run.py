@@ -13,6 +13,7 @@ and through the ``repro.parallel`` worker pool — and shows:
 
 Run:  python examples/parallel_run.py [--workers N] [--validate]
                                       [--steps N] [--pipeline]
+                                      [--trace OUT.json] [--profile]
                                       [--report OUT.json]
 
 ``--pipeline`` adds a third run with ``pipeline=True``: each rank's
@@ -20,9 +21,15 @@ elements split into boundary and inner batches, with the driver's
 combine work overlapped against worker compute (DESIGN.md Section 11)
 — same bits, same simulated clocks, less wall time.
 
+``--trace`` turns on cross-process telemetry (DESIGN.md §13) and
+writes one merged Chrome/Perfetto timeline: per-worker process tracks
+with the workers' own compute spans, heartbeat-age and queue-depth
+counter tracks, and supervisor instants.  ``--profile`` additionally
+runs the in-worker sampling profiler and prints the top frames.
+
 With ``--report``, a JSON summary (timings, per-worker stats, the
-bitwise verdict) is written for downstream tooling — the CI smoke job
-uploads it as an artifact.
+bitwise verdict, the health report) is written for downstream tooling
+— the CI smoke job uploads it as an artifact.
 """
 
 import argparse
@@ -33,24 +40,44 @@ import numpy as np
 
 from repro.homme.distributed import DistributedShallowWater
 from repro.mesh import CubedSphereMesh
-from repro.obs import MetricsRegistry, collect_parallel_engine
+from repro.obs import (
+    PROFILE_HZ,
+    MetricsRegistry,
+    Tracer,
+    collect_parallel_engine,
+    render_profile,
+)
 from repro.parallel import available_cores
 
 
-def timed_run(mesh, nranks, workers, validate, steps, pipeline=False):
+def timed_run(mesh, nranks, workers, validate, steps, pipeline=False,
+              trace=False, profile=False):
+    tracer = Tracer("parallel_run") if (trace or profile) else None
+    engine_kwargs = {"profile_hz": PROFILE_HZ} if profile else None
     with DistributedShallowWater(mesh, nranks=nranks, workers=workers,
-                                 validate=validate, pipeline=pipeline) as m:
+                                 validate=validate, pipeline=pipeline,
+                                 tracer=tracer,
+                                 engine_kwargs=engine_kwargs) as m:
         t0 = time.perf_counter()
         m.run_steps(steps)
         wall = time.perf_counter() - t0
-        return {
+        health = m.health()
+        out = {
             "state": m.gather_state(),
             "wall_s": wall,
             "simulated_s": m.max_rank_time(),
             "engine": m.engine.describe(),
+            "health": health.to_json(),
             "metrics": collect_parallel_engine(
                 MetricsRegistry("parallel"), m.engine).snapshot(),
+            "profile": (dict(m.engine.profile_frames),
+                        m.engine.profile_samples),
         }
+    # Export after close(): the engine flushes profile counter tracks
+    # into the recorder on shutdown.
+    if tracer is not None:
+        out["chrome"] = tracer.recorder.chrome_trace()
+    return out
 
 
 def main() -> int:
@@ -65,6 +92,12 @@ def main() -> int:
     ap.add_argument("--pipeline", action="store_true",
                     help="also run the pipelined mode (overlapped driver "
                          "combines) and compare it bitwise")
+    ap.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="enable cross-process telemetry and write the "
+                         "merged Chrome/Perfetto trace here")
+    ap.add_argument("--profile", action="store_true",
+                    help="run the in-worker sampling profiler "
+                         f"({PROFILE_HZ:g} Hz) and print the top frames")
     ap.add_argument("--report", metavar="OUT.json", default=None,
                     help="write a JSON summary here")
     ns = ap.parse_args()
@@ -74,13 +107,15 @@ def main() -> int:
     print(f"ne8 shallow water, {nranks} simulated ranks, {ns.steps} steps; "
           f"machine has {available_cores()} core(s)")
 
+    trace = ns.trace is not None
     serial = timed_run(mesh, nranks, workers=0, validate=False, steps=ns.steps)
     par = timed_run(mesh, nranks, workers=ns.workers, validate=ns.validate,
-                    steps=ns.steps)
+                    steps=ns.steps, trace=trace, profile=ns.profile)
     pipe = None
     if ns.pipeline:
         pipe = timed_run(mesh, nranks, workers=ns.workers,
-                         validate=ns.validate, steps=ns.steps, pipeline=True)
+                         validate=ns.validate, steps=ns.steps, pipeline=True,
+                         trace=trace, profile=ns.profile)
 
     same_h = np.array_equal(serial["state"].h, par["state"].h)
     same_v = np.array_equal(serial["state"].v, par["state"].v)
@@ -102,6 +137,16 @@ def main() -> int:
     print(f"wall: serial {serial['wall_s']:.3f}s, "
           f"parallel {par['wall_s']:.3f}s "
           f"(x{serial['wall_s'] / par['wall_s']:.2f})")
+
+    hv = par["health"]
+    print(f"health: {hv['verdict'].upper()}"
+          + "".join(f"\n  [{f['severity']}] {f['rule']}: {f['message']}"
+                    for f in hv["findings"]))
+
+    if ns.profile:
+        frames, samples = par["profile"]
+        print(f"worker profile ({samples} samples):")
+        print(render_profile(frames, samples, top=8))
 
     pipe_ok = True
     if pipe is not None:
@@ -128,6 +173,7 @@ def main() -> int:
             "parallel_wall_s": par["wall_s"],
             "pool": {k: v for k, v in pool.items() if k != "per_worker"},
             "per_worker": pool["per_worker"],
+            "health": par["health"],
             "metrics": par["metrics"],
         }
         if pipe is not None:
@@ -135,11 +181,26 @@ def main() -> int:
                 "bitwise_identical": bool(pipe_ok),
                 "wall_s": pipe["wall_s"],
                 "pipeline": pipe["engine"]["pipeline"],
+                "health": pipe["health"],
                 "metrics": pipe["metrics"],
             }
         with open(ns.report, "w") as f:
             json.dump(summary, f, indent=2)
         print(f"[report] -> {ns.report}")
+
+    if ns.trace:
+        traces = [("parallel", par["chrome"])]
+        if pipe is not None:
+            traces.append(("pipelined", pipe["chrome"]))
+        if len(traces) == 1:
+            merged = traces[0][1]
+        else:
+            from repro.obs.__main__ import _merge_traces
+            merged = _merge_traces(traces)
+        with open(ns.trace, "w") as f:
+            json.dump(merged, f)
+        print(f"[trace] {len(merged['traceEvents'])} events -> {ns.trace} "
+              "(open in https://ui.perfetto.dev)")
 
     return 0 if (same_h and same_v and same_clock and pipe_ok) else 1
 

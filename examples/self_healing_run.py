@@ -13,7 +13,9 @@ distributed shallow-water model, and shows:
 2. *how* it survived: the engine's ``parallel.recovery.*`` tallies
    (respawns, redistributed tasks, corrupt results caught) and its
    degrade history, which stays empty — worker faults no longer cost
-   the pool;
+   the pool — plus the :class:`repro.obs.health.HealthMonitor` verdict
+   over the same state (a recovered fault reads ``warn``, never
+   ``critical``);
 3. optionally the same scenario through the pipelined
    (``submit``/``PendingRun``) dispatch mode.
 
@@ -73,6 +75,10 @@ def main() -> int:
         print(f"  {name:<16} {verdict}; pool "
               f"{'alive' if rep['pool_active_at_end'] else 'DEGRADED'}; "
               f"recovery {recovered or '{}'}")
+        hv = rep["health"]
+        print(f"  {'':<16} health: {hv['verdict']}"
+              + "".join(f"; [{f['severity']}] {f['rule']}"
+                        for f in hv["findings"]))
         if rep["fault_events"]:
             print(f"  {'':<16} observed: {rep['fault_events']}")
 

@@ -3,13 +3,28 @@
 
 Usage::
 
-    PYTHONPATH=src python scripts/validate_trace.py trace.json [--min-rank-tracks N]
+    PYTHONPATH=src python scripts/validate_trace.py trace.json \
+        [--min-rank-tracks N] [--min-worker-tracks N] \
+        [--require-counter PREFIX] [--require-instant PREFIX]
 
-Loads the file, runs :func:`repro.obs.validate_chrome_trace`, and —
-when ``--min-rank-tracks`` is given — additionally asserts the trace
-names at least N per-rank threads and that the halo-exchange phase
-spans (pack, send, overlap, unpack) are present.  Exits nonzero on any
-problem, so CI can gate on it.
+Loads the file, runs :func:`repro.obs.validate_chrome_trace`, then the
+multi-process structural checks that always apply:
+
+- every timeline event's ``(pid, tid)`` is covered by a
+  ``thread_name`` metadata event, and every ``pid`` by a
+  ``process_name``;
+- timestamps are monotonically non-decreasing per ``(pid, tid)`` track
+  in file order (Perfetto renders out-of-order tracks misleadingly);
+- counter events carry numeric values.
+
+``--min-rank-tracks`` keeps the original single-process contract
+(N ``rank*`` tracks plus the halo-exchange phase spans).
+``--min-worker-tracks`` asserts the cross-process telemetry contract
+(DESIGN.md §13): at least N ``worker/*`` tracks owned by N distinct
+non-driver pids.  ``--require-counter`` / ``--require-instant`` (both
+repeatable) assert a counter / instant event whose name starts with
+the given prefix exists.  Exits nonzero on any problem, so CI can gate
+on it.
 """
 
 from __future__ import annotations
@@ -20,8 +35,133 @@ import sys
 
 from repro.obs import validate_chrome_trace
 
+_TIMELINE_PHASES = {"X", "B", "E", "i", "I", "C"}
 
-def check(path: str, min_rank_tracks: int = 0) -> list[str]:
+
+def _structural_problems(events: list) -> list[str]:
+    """Multi-process checks that apply to every trace."""
+    problems: list[str] = []
+    threads: dict[tuple, str] = {}
+    procs: dict = {}
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "M":
+            continue
+        name = str(ev.get("args", {}).get("name", ""))
+        if ev.get("name") == "thread_name":
+            threads[(ev.get("pid"), ev.get("tid"))] = name
+        elif ev.get("name") == "process_name":
+            procs[ev.get("pid")] = name
+
+    last_ts: dict[tuple, float] = {}
+    uncovered_tracks: set[tuple] = set()
+    uncovered_pids: set = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") not in _TIMELINE_PHASES:
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        if key not in threads:
+            uncovered_tracks.add(key)
+        if ev.get("pid") not in procs:
+            uncovered_pids.add(ev.get("pid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i} ({ev.get('name')!r}): "
+                            f"non-numeric ts {ts!r}")
+            continue
+        if ts < last_ts.get(key, float("-inf")):
+            problems.append(
+                f"event {i} ({ev.get('name')!r}): ts {ts} goes backwards "
+                f"on track pid={key[0]} tid={key[1]} "
+                f"(previous {last_ts[key]})"
+            )
+        last_ts[key] = ts
+        if ev.get("ph") == "C":
+            args = ev.get("args", {})
+            bad = {k: v for k, v in args.items()
+                   if not isinstance(v, (int, float))
+                   or isinstance(v, bool)}
+            if bad or not args:
+                problems.append(
+                    f"event {i} (counter {ev.get('name')!r}): args must be "
+                    f"non-empty numeric, got {bad or args!r}"
+                )
+    for pid, tid in sorted(uncovered_tracks, key=repr):
+        problems.append(
+            f"track pid={pid} tid={tid} has events but no thread_name "
+            "metadata"
+        )
+    for pid in sorted(uncovered_pids, key=repr):
+        problems.append(f"pid {pid} has events but no process_name metadata")
+    return problems
+
+
+def _rank_problems(events: list, min_rank_tracks: int) -> list[str]:
+    problems: list[str] = []
+    rank_tracks = {
+        ev["args"]["name"]
+        for ev in events
+        if isinstance(ev, dict) and ev.get("ph") == "M"
+        and ev.get("name") == "thread_name"
+        and str(ev.get("args", {}).get("name", "")).startswith("rank")
+    }
+    if len(rank_tracks) < min_rank_tracks:
+        problems.append(
+            f"expected >= {min_rank_tracks} rank tracks, "
+            f"found {sorted(rank_tracks)}"
+        )
+    names = {ev.get("name") for ev in events if isinstance(ev, dict)}
+    for phase in ("pack", "send", "overlap", "unpack"):
+        if phase not in names:
+            problems.append(f"missing halo-exchange phase span {phase!r}")
+    return problems
+
+
+def _worker_problems(events: list, min_worker_tracks: int) -> list[str]:
+    """The cross-process contract: worker/* tracks on distinct pids."""
+    problems: list[str] = []
+    worker_tracks: dict[str, object] = {}
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "M" \
+                or ev.get("name") != "thread_name":
+            continue
+        name = str(ev.get("args", {}).get("name", ""))
+        if name.startswith("worker/"):
+            worker_tracks[name] = ev.get("pid")
+    if len(worker_tracks) < min_worker_tracks:
+        problems.append(
+            f"expected >= {min_worker_tracks} worker/* tracks, "
+            f"found {sorted(worker_tracks)}"
+        )
+    pids = {pid for pid in worker_tracks.values() if pid}
+    if len(pids) < min_worker_tracks:
+        problems.append(
+            f"expected >= {min_worker_tracks} distinct nonzero worker pids "
+            f"(one process per worker), found {sorted(map(str, pids))}"
+        )
+    return problems
+
+
+def _presence_problems(events: list, phases: tuple, kind: str,
+                       prefixes: list[str]) -> list[str]:
+    problems = []
+    names = {
+        str(ev.get("name", ""))
+        for ev in events
+        if isinstance(ev, dict) and ev.get("ph") in phases
+    }
+    for prefix in prefixes:
+        if not any(n.startswith(prefix) for n in names):
+            problems.append(f"no {kind} event named {prefix!r}*")
+    return problems
+
+
+def check(
+    path: str,
+    min_rank_tracks: int = 0,
+    min_worker_tracks: int = 0,
+    require_counter: list[str] | None = None,
+    require_instant: list[str] | None = None,
+) -> list[str]:
     """Return a list of problems with the trace file (empty = valid)."""
     try:
         with open(path) as fh:
@@ -29,24 +169,18 @@ def check(path: str, min_rank_tracks: int = 0) -> list[str]:
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: cannot load: {exc}"]
     problems = validate_chrome_trace(obj)
+    events = obj.get("traceEvents", [])
+    problems += _structural_problems(events)
     if min_rank_tracks:
-        events = obj.get("traceEvents", [])
-        rank_tracks = {
-            ev["args"]["name"]
-            for ev in events
-            if isinstance(ev, dict) and ev.get("ph") == "M"
-            and ev.get("name") == "thread_name"
-            and str(ev.get("args", {}).get("name", "")).startswith("rank")
-        }
-        if len(rank_tracks) < min_rank_tracks:
-            problems.append(
-                f"expected >= {min_rank_tracks} rank tracks, "
-                f"found {sorted(rank_tracks)}"
-            )
-        names = {ev.get("name") for ev in events if isinstance(ev, dict)}
-        for phase in ("pack", "send", "overlap", "unpack"):
-            if phase not in names:
-                problems.append(f"missing halo-exchange phase span {phase!r}")
+        problems += _rank_problems(events, min_rank_tracks)
+    if min_worker_tracks:
+        problems += _worker_problems(events, min_worker_tracks)
+    if require_counter:
+        problems += _presence_problems(events, ("C",), "counter",
+                                       require_counter)
+    if require_instant:
+        problems += _presence_problems(events, ("i", "I"), "instant",
+                                       require_instant)
     return problems
 
 
@@ -56,8 +190,22 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-rank-tracks", type=int, default=0, metavar="N",
                     help="require at least N rank* thread tracks "
                          "and the halo-exchange phase spans")
+    ap.add_argument("--min-worker-tracks", type=int, default=0, metavar="N",
+                    help="require at least N worker/* thread tracks on "
+                         "N distinct non-driver pids")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="PREFIX",
+                    help="require a counter event named PREFIX* "
+                         "(repeatable)")
+    ap.add_argument("--require-instant", action="append", default=[],
+                    metavar="PREFIX",
+                    help="require an instant event named PREFIX* "
+                         "(repeatable)")
     ns = ap.parse_args(argv)
-    problems = check(ns.trace, ns.min_rank_tracks)
+    problems = check(
+        ns.trace, ns.min_rank_tracks, ns.min_worker_tracks,
+        ns.require_counter, ns.require_instant,
+    )
     for p in problems:
         print(f"INVALID: {p}", file=sys.stderr)
     if not problems:

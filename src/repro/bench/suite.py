@@ -40,6 +40,10 @@ SPEEDUP_FLOORS = {
     # may cost at most 50% wall time over the fault-free parallel step,
     # i.e. recovery_speedup = parallel/recovery >= 1/1.5.
     "dist_sw_step.ne8.recovery_speedup": 1.0 / 1.5,
+    # Telemetry overhead gate (DESIGN.md §13): the fully instrumented
+    # parallel step (tracing + in-worker packets + sampling profiler)
+    # may cost at most 10% wall time over the telemetry-off run.
+    "dist_sw_step.ne8.telemetry_speedup": 1.0 / 1.10,
 }
 
 #: Worker count for the parallel-vs-serial distributed section; the
@@ -141,30 +145,49 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             f"pipelined-vs-parallel floor needs {PARALLEL_BENCH_WORKERS} "
             f"cores, machine has {cores}"
         )
+        skipped["dist_sw_step.ne8.telemetry_speedup"] = (
+            f"telemetry-overhead floor needs {PARALLEL_BENCH_WORKERS} "
+            f"cores, machine has {cores}"
+        )
     else:
         dist_repeats = min(repeats, 5)  # a distributed step is ~100x a kernel
-        for variant, nworkers, pipe in (
-            ("serial", 0, False),
-            ("parallel", PARALLEL_BENCH_WORKERS, False),
-            ("pipelined", PARALLEL_BENCH_WORKERS, True),
+        for variant, nworkers, pipe, instrumented in (
+            ("serial", 0, False, False),
+            ("parallel", PARALLEL_BENCH_WORKERS, False, False),
+            ("pipelined", PARALLEL_BENCH_WORKERS, True, False),
+            # Fully instrumented parallel step: driver tracing plus
+            # in-worker telemetry packets and the sampling profiler
+            # (DESIGN.md §13).  Gated against the telemetry-off
+            # "parallel" entry via telemetry_speedup.
+            ("telemetry", PARALLEL_BENCH_WORKERS, False, True),
         ):
+            tracer = None
+            engine_kwargs = None
+            if instrumented:
+                from ..obs import PROFILE_HZ, Tracer
+
+                tracer = Tracer("bench-telemetry")
+                engine_kwargs = {"profile_hz": PROFILE_HZ}
             model = DistributedShallowWater(
                 mesh8, nranks=PARALLEL_BENCH_WORKERS, workers=nworkers,
-                pipeline=pipe,
+                pipeline=pipe, tracer=tracer, engine_kwargs=engine_kwargs,
             )
             snap = model.snapshot()
             secs = time_wall(
                 model.step, repeats=dist_repeats,
                 setup=lambda m=model, s=snap: m.restore_snapshot(s),
             )
+            meta = {"ne": 8, "nranks": PARALLEL_BENCH_WORKERS,
+                    "workers": nworkers, "pipeline": pipe,
+                    "kernel": "distributed SW step",
+                    "pool_active": bool(model.engine.active),
+                    "gated": False}
+            if instrumented:
+                meta["telemetry_packets"] = model.engine.telemetry_packets
+                meta["profile_samples"] = model.engine.profile_samples
             results.append(BenchResult(
                 name=f"dist_sw_step.ne8.{variant}", clock="wall", seconds=secs,
-                repeats=dist_repeats,
-                meta={"ne": 8, "nranks": PARALLEL_BENCH_WORKERS,
-                      "workers": nworkers, "pipeline": pipe,
-                      "kernel": "distributed SW step",
-                      "pool_active": bool(model.engine.active),
-                      "gated": False},
+                repeats=dist_repeats, meta=meta,
             ))
             model.close()
 
@@ -249,6 +272,20 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         else:
             skipped["dist_sw_step.ne8.pipelined_speedup"] = (
                 "worker pool fell back to serial; speedup floor not applicable"
+            )
+    # Telemetry gate: >= 1/1.10 means full instrumentation (tracing,
+    # per-result packets, sampling profiler) cost <= 10% wall time over
+    # the telemetry-off parallel step.
+    tel = by_name.get("dist_sw_step.ne8.telemetry")
+    if par is not None and tel is not None:
+        if par.meta.get("pool_active") and tel.meta.get("pool_active"):
+            derived["dist_sw_step.ne8.telemetry_speedup"] = (
+                par.seconds / tel.seconds
+            )
+        else:
+            skipped["dist_sw_step.ne8.telemetry_speedup"] = (
+                "worker pool fell back to serial; overhead floor "
+                "not applicable"
             )
     # Recovery gate: >= 1/1.5 means the injected kill cost <= 50% wall
     # time over the equivalent fault-free parallel run (the per-step

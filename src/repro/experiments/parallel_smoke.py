@@ -71,6 +71,14 @@ def run_parallel_smoke(
         pool_ok = (not par.engine.active) or par.engine.tasks_parallel > 0
         table.add("pool dispatched work (or clean fallback)", 1.0,
                   1.0 if pool_ok else 0.0, "boolean", 0.0)
+        hv = par.health()
+        table.health = hv.to_json()
+        table.add("sw ne8 health not critical", 1.0,
+                  1.0 if hv.verdict != "critical" else 0.0, "boolean", 0.0)
+        if verbose:
+            print(f"  health: {hv.verdict}"
+                  + (f" ({len(hv.findings)} finding(s))" if hv.findings
+                     else ""))
         if verbose and not par.engine.active:
             print(f"  note: pool fell back to serial "
                   f"({par.engine.fallback_reason})")

@@ -87,6 +87,9 @@ def run_experiment(name: str, quick: bool = False, workers: int = 2) -> RunLog:
             criterion=rec.criterion,
             passed=rec.passed,
         )
+    health = getattr(table, "health", None)
+    if health is not None:
+        log.record("health", health["verdict"], report=health)
     log.record("verdict", "pass" if table.all_passed else "MISS",
                records=len(table.records))
     log.record("table", table.render())

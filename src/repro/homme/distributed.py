@@ -301,6 +301,10 @@ class DistributedShallowWater:
         if self._pipe_ctx_key is not None:
             unregister_context(self._pipe_ctx_key)
 
+    def health(self, monitor=None):
+        """Run the health rules over the engine (DESIGN.md §13.4)."""
+        return self.engine.health(monitor)
+
     def __enter__(self) -> "DistributedShallowWater":
         return self
 
@@ -666,6 +670,10 @@ class DistributedPrimitiveEquations:
         unregister_context(self._ctx_key)
         if self._pipe_ctx_key is not None:
             unregister_context(self._pipe_ctx_key)
+
+    def health(self, monitor=None):
+        """Run the health rules over the engine (DESIGN.md §13.4)."""
+        return self.engine.health(monitor)
 
     def __enter__(self) -> "DistributedPrimitiveEquations":
         return self

@@ -11,7 +11,13 @@ Three coordinated pieces (DESIGN.md Section 7):
   every simulator counter under one dotted namespace, plus the
   per-component ``collect_*`` helpers;
 - :mod:`repro.obs.roofline_report` — per-kernel roofline attribution
-  computed from recorded kernel spans.
+  computed from recorded kernel spans;
+- :mod:`repro.obs.telemetry` / :mod:`repro.obs.profiler` /
+  :mod:`repro.obs.health` — cross-process telemetry for the worker
+  pool (DESIGN.md §13): in-worker spans and metric deltas shipped in
+  per-result packets, a wall-clock sampling profiler, and the run
+  health monitor.  ``python -m repro.obs`` offers ``summary`` /
+  ``merge`` / ``diff`` over trace and metrics artifacts.
 
 Quickstart::
 
@@ -40,7 +46,17 @@ from .metrics import (
     collect_parallel_engine,
     collect_perf_counters,
     collect_simmpi,
+    collect_supervisor,
 )
+from .profiler import PROFILE_HZ, SamplingProfiler, merge_profiles, render_profile
+from .telemetry import (
+    TelemetrySpec,
+    WorkerTelemetry,
+    canonical_metrics_jsonl,
+    canonical_trace_jsonl,
+    quantile,
+)
+from .health import HealthFinding, HealthMonitor, HealthReport
 from .roofline_report import (
     KernelAttribution,
     attribute_kernels,
@@ -66,6 +82,19 @@ __all__ = [
     "collect_parallel_engine",
     "collect_perf_counters",
     "collect_simmpi",
+    "collect_supervisor",
+    "PROFILE_HZ",
+    "SamplingProfiler",
+    "merge_profiles",
+    "render_profile",
+    "TelemetrySpec",
+    "WorkerTelemetry",
+    "canonical_metrics_jsonl",
+    "canonical_trace_jsonl",
+    "quantile",
+    "HealthFinding",
+    "HealthMonitor",
+    "HealthReport",
     "KernelAttribution",
     "attribute_kernels",
     "render_roofline_report",

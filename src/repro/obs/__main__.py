@@ -1,0 +1,310 @@
+"""``python -m repro.obs`` — inspect, merge, and diff telemetry artifacts.
+
+Three subcommands over the artifacts the stack writes (Chrome trace
+JSON from :meth:`FlightRecorder.write_chrome_trace`, metrics snapshots
+from :meth:`MetricsRegistry.snapshot`, and run reports carrying a
+``health`` section):
+
+- ``summary PATH [--top N] [--fail-on warn|critical]`` — render a
+  per-artifact summary; with ``--fail-on``, exit nonzero when any
+  embedded health verdict is at least that severe (the CI gate);
+- ``merge OUT IN [IN ...]`` — combine artifacts of one kind: traces
+  merge with per-input pid remapping (two runs render side by side in
+  Perfetto), metrics snapshots merge with the registry's deterministic
+  counter/gauge/histogram semantics;
+- ``diff A B`` — mechanical comparison: per-(pid, name) span counts
+  and total durations for traces, per-metric value deltas for metrics.
+
+Artifact kinds are auto-detected from their JSON shape, so the same
+command works on a trace, a metrics file, or a ``--report`` output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .health import SEVERITIES
+from .metrics import MetricsRegistry
+
+_US = 1e6  # Chrome trace timestamps are microseconds
+
+
+def _load(path: str) -> Any:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _kind(obj: Any) -> str:
+    """Classify an artifact: 'trace', 'metrics', or 'report'."""
+    if isinstance(obj, dict):
+        if isinstance(obj.get("traceEvents"), list):
+            return "trace"
+        if all(
+            isinstance(v, (int, float))
+            or (isinstance(v, dict) and ("peak" in v or "buckets" in v))
+            for v in obj.values()
+        ) and obj and all(isinstance(k, str) for k in obj):
+            return "metrics"
+        return "report"
+    return "report"
+
+
+# ---------------------------------------------------------------------------
+# summary
+# ---------------------------------------------------------------------------
+
+
+def _trace_tracks(events: list) -> dict[tuple[int, int], str]:
+    names = {}
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "thread_name":
+            names[(ev.get("pid"), ev.get("tid"))] = ev["args"]["name"]
+    return names
+
+
+def _trace_processes(events: list) -> dict[int, str]:
+    procs = {}
+    for ev in events:
+        if isinstance(ev, dict) and ev.get("ph") == "M" \
+                and ev.get("name") == "process_name":
+            procs[ev.get("pid")] = ev["args"]["name"]
+    return procs
+
+
+def _summarize_trace(obj: dict, top: int) -> str:
+    events = obj.get("traceEvents", [])
+    tracks = _trace_tracks(events)
+    procs = _trace_processes(events)
+    spans: dict[str, tuple[int, float]] = {}
+    counters: set[str] = set()
+    instants: dict[str, int] = {}
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph == "X":
+            n, total = spans.get(ev["name"], (0, 0.0))
+            spans[ev["name"]] = (n + 1, total + float(ev.get("dur", 0.0)) / _US)
+        elif ph == "C":
+            counters.add(ev["name"])
+        elif ph in ("i", "I"):
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+    lines = [
+        f"trace: {len(events)} events, {len(procs)} process(es), "
+        f"{len(tracks)} track(s)"
+    ]
+    for pid in sorted(procs):
+        owned = sorted(name for (p, _), name in tracks.items() if p == pid)
+        lines.append(f"  pid {pid} ({procs[pid]}): {', '.join(owned)}")
+    ranked = sorted(spans.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    for name, (n, total) in ranked[:top]:
+        lines.append(f"  span {name}: n={n} total={total:.4f}s")
+    for name in sorted(counters):
+        lines.append(f"  counter {name}")
+    for name, n in sorted(instants.items()):
+        lines.append(f"  instant {name}: n={n}")
+    return "\n".join(lines)
+
+
+def _find_health(obj: Any) -> list[dict]:
+    """Collect every embedded health report (dicts with verdict+findings)."""
+    found: list[dict] = []
+    if isinstance(obj, dict):
+        if "verdict" in obj and "findings" in obj:
+            found.append(obj)
+        else:
+            for v in obj.values():
+                found.extend(_find_health(v))
+    elif isinstance(obj, list):
+        for v in obj:
+            found.extend(_find_health(v))
+    return found
+
+
+def _summarize_report(obj: Any, top: int) -> str:
+    lines = []
+    healths = _find_health(obj)
+    for h in healths:
+        lines.append(f"health: {h['verdict'].upper()} "
+                     f"({len(h['findings'])} finding(s))")
+        for f in h["findings"]:
+            lines.append(f"  [{f['severity']}] {f['rule']}: {f['message']}")
+    if not healths:
+        lines.append("report: no embedded health section")
+    if isinstance(obj, dict):
+        for key in ("bitwise_identical", "scenario", "workers", "steps"):
+            if key in obj:
+                lines.append(f"  {key}: {obj[key]}")
+    return "\n".join(lines)
+
+
+def cmd_summary(ns: argparse.Namespace) -> int:
+    rc = 0
+    for path in ns.paths:
+        obj = _load(path)
+        kind = _kind(obj)
+        print(f"== {path} [{kind}]")
+        if kind == "trace":
+            print(_summarize_trace(obj, ns.top))
+        elif kind == "metrics":
+            print(MetricsRegistry.from_snapshot(obj, name=path).render())
+        else:
+            print(_summarize_report(obj, ns.top))
+        if ns.fail_on:
+            threshold = SEVERITIES.index(ns.fail_on)
+            for h in _find_health(obj):
+                if SEVERITIES.index(h["verdict"]) >= threshold:
+                    print(f"FAIL: health verdict {h['verdict']!r} >= "
+                          f"--fail-on {ns.fail_on!r}", file=sys.stderr)
+                    rc = 1
+    return rc
+
+
+# ---------------------------------------------------------------------------
+# merge
+# ---------------------------------------------------------------------------
+
+
+def _merge_traces(inputs: list[tuple[str, dict]]) -> dict:
+    """Concatenate traces, remapping pids so inputs never collide."""
+    out: list[dict] = []
+    next_base = 0
+    for i, (path, obj) in enumerate(inputs):
+        events = obj.get("traceEvents", [])
+        pids = sorted({
+            ev.get("pid") for ev in events
+            if isinstance(ev, dict) and "pid" in ev
+        })
+        remap = {pid: next_base + j for j, pid in enumerate(pids)}
+        next_base += len(pids)
+        for ev in events:
+            if not isinstance(ev, dict):
+                continue
+            ev = dict(ev)
+            ev["pid"] = remap.get(ev.get("pid"), ev.get("pid"))
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                ev = dict(ev, args={
+                    "name": f"run{i}:{ev.get('args', {}).get('name', path)}"
+                })
+            out.append(ev)
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def cmd_merge(ns: argparse.Namespace) -> int:
+    inputs = [(p, _load(p)) for p in ns.inputs]
+    kinds = {_kind(obj) for _, obj in inputs}
+    if len(kinds) != 1:
+        print(f"cannot merge mixed artifact kinds: {sorted(kinds)}",
+              file=sys.stderr)
+        return 2
+    kind = kinds.pop()
+    if kind == "trace":
+        merged: Any = _merge_traces(inputs)
+    elif kind == "metrics":
+        reg = MetricsRegistry("merged")
+        for path, obj in inputs:
+            reg.merge(MetricsRegistry.from_snapshot(obj, name=path))
+        merged = reg.snapshot()
+    else:
+        print("merge supports traces and metrics snapshots, not reports",
+              file=sys.stderr)
+        return 2
+    with open(ns.out, "w") as fh:
+        json.dump(merged, fh, sort_keys=True)
+    print(f"[merge] {len(inputs)} {kind} artifact(s) -> {ns.out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+
+def _trace_profile(obj: dict) -> dict[str, tuple[int, float]]:
+    agg: dict[str, tuple[int, float]] = {}
+    for ev in obj.get("traceEvents", []):
+        if isinstance(ev, dict) and ev.get("ph") == "X":
+            n, total = agg.get(ev["name"], (0, 0.0))
+            agg[ev["name"]] = (n + 1, total + float(ev.get("dur", 0.0)) / _US)
+    return agg
+
+
+def _flatten(obj: Any, prefix: str = "") -> dict[str, float]:
+    flat: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            flat.update(_flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, bool):
+        flat[prefix.rstrip(".")] = float(obj)
+    elif isinstance(obj, (int, float)):
+        flat[prefix.rstrip(".")] = float(obj)
+    return flat
+
+
+def cmd_diff(ns: argparse.Namespace) -> int:
+    a, b = _load(ns.a), _load(ns.b)
+    ka, kb = _kind(a), _kind(b)
+    if ka != kb:
+        print(f"cannot diff {ka} against {kb}", file=sys.stderr)
+        return 2
+    changed = 0
+    if ka == "trace":
+        pa, pb = _trace_profile(a), _trace_profile(b)
+        for name in sorted(set(pa) | set(pb)):
+            na, ta = pa.get(name, (0, 0.0))
+            nb, tb = pb.get(name, (0, 0.0))
+            if na != nb or abs(ta - tb) > 1e-12:
+                changed += 1
+                print(f"  span {name}: n {na} -> {nb}, "
+                      f"total {ta:.4f}s -> {tb:.4f}s")
+    else:
+        fa, fb = _flatten(a), _flatten(b)
+        for name in sorted(set(fa) | set(fb)):
+            va, vb = fa.get(name), fb.get(name)
+            if va != vb:
+                changed += 1
+                print(f"  {name}: {va} -> {vb}")
+    print(f"diff: {changed} difference(s) between {ns.a} and {ns.b}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect, merge, and diff telemetry artifacts.",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("summary", help="summarize trace/metrics/report files")
+    p.add_argument("paths", nargs="+", help="artifact files")
+    p.add_argument("--top", type=int, default=10,
+                   help="span rows to show per trace (default 10)")
+    p.add_argument("--fail-on", choices=["warn", "critical"], default=None,
+                   help="exit nonzero if any embedded health verdict is "
+                        "at least this severe")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("merge", help="merge artifacts of one kind")
+    p.add_argument("out", help="output file")
+    p.add_argument("inputs", nargs="+", help="input artifacts (same kind)")
+    p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser("diff", help="mechanically compare two artifacts")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=cmd_diff)
+
+    ns = ap.parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -174,7 +174,47 @@ class MetricsRegistry:
             out.merge(reg)
         return out
 
+    @staticmethod
+    def from_snapshot(snap: dict[str, Any],
+                      name: str = "metrics") -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The inverse the ``python -m repro.obs merge``/``diff`` CLI needs
+        to operate on metrics artifacts written by earlier runs.
+        """
+        reg = MetricsRegistry(name)
+        for key, val in snap.items():
+            if isinstance(val, (int, float)):
+                reg.counter(key).inc(float(val))
+            elif isinstance(val, dict) and "peak" in val:
+                g = reg.gauge(key)
+                g.value = float(val.get("value", 0.0))
+                g.peak = float(val.get("peak", g.value))
+            elif isinstance(val, dict) and "buckets" in val:
+                h = reg.histogram(key)
+                h.count = int(val.get("count", 0))
+                h.total = float(val.get("mean", 0.0)) * h.count
+                h.min = float(val.get("min", 0.0)) if h.count else float("inf")
+                h.max = float(val.get("max", 0.0)) if h.count else float("-inf")
+                h.buckets = {int(b): int(n)
+                             for b, n in val.get("buckets", {}).items()}
+            else:
+                raise ValueError(f"unrecognized snapshot entry {key!r}: {val!r}")
+        return reg
+
     # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One canonical JSON object per metric (sorted, stable keys)."""
+        import json
+
+        snap = self.snapshot()
+        lines = [
+            json.dumps({"name": k, "value": snap[k]},
+                       sort_keys=True, separators=(",", ":"))
+            for k in sorted(snap)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict view keyed by metric name (sorted, JSON-friendly)."""
@@ -311,4 +351,43 @@ def collect_parallel_engine(reg: MetricsRegistry, engine) -> MetricsRegistry:
         reg.inc(f"{prefix}.bytes_out", s.bytes_out)
         reg.inc(f"{prefix}.errors", s.errors)
         reg.inc(f"{prefix}.respawns", s.respawns)
+        reg.set_gauge(f"{prefix}.generation", getattr(s, "generation", 0))
+        reg.set_gauge(f"{prefix}.queue_depth.peak",
+                      getattr(s, "queue_peak", 0))
+    # Cross-process telemetry (DESIGN.md §13): heartbeat ages observed
+    # worker-side, packet/profile tallies, and the per-worker metric
+    # deltas the packets carried.
+    hb = list(getattr(engine, "_hb_samples", ()) or ())
+    if hb:
+        from .telemetry import quantile
+
+        reg.set_gauge("parallel.heartbeat.age.max", max(hb))
+        reg.set_gauge("parallel.heartbeat.age.p99", quantile(hb, 0.99))
+    reg.inc("parallel.telemetry.packets",
+            getattr(engine, "telemetry_packets", 0))
+    reg.inc("parallel.profile.samples",
+            getattr(engine, "profile_samples", 0))
+    tele = getattr(engine, "telemetry_metrics", None)
+    if tele is not None:
+        reg.merge(tele)
+    supervisor = getattr(engine, "supervisor", None)
+    if supervisor is not None:
+        collect_supervisor(reg, supervisor)
+    return reg
+
+
+def collect_supervisor(reg: MetricsRegistry, supervisor) -> MetricsRegistry:
+    """Fold a :class:`~repro.parallel.supervisor.WorkerSupervisor`'s
+    live view into ``reg``: respawn totals, live-slot count, and the
+    driver-side heartbeat age and generation per slot."""
+    reg.inc("parallel.supervisor.respawns", supervisor.respawns)
+    reg.set_gauge("parallel.supervisor.slots", supervisor.nslots)
+    reg.set_gauge("parallel.supervisor.live", len(supervisor.live_slots()))
+    for h in supervisor.handles:
+        if h is None:
+            continue
+        prefix = f"parallel.worker.{h.slot}"
+        reg.set_gauge(f"{prefix}.heartbeat_age",
+                      max(0.0, supervisor.heartbeat_age(h.slot)))
+        reg.set_gauge(f"{prefix}.generation", h.generation)
     return reg

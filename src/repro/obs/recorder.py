@@ -61,6 +61,10 @@ class FlightRecorder:
         self._seq = 0
         #: Track names in first-seen order (Chrome tid assignment).
         self._tracks: list[str] = []
+        #: track -> (pid, process name) for tracks owned by another OS
+        #: process (pool workers); unmapped tracks belong to the driver
+        #: (pid 0 in the export).
+        self._procs: dict[str, tuple[int, str]] = {}
 
     # -- recording ------------------------------------------------------------
 
@@ -84,6 +88,19 @@ class FlightRecorder:
             self._tracks.append(track)
         self.events.append(ev)
         return ev
+
+    def set_process(self, track: str, pid: int, name: str | None = None) -> None:
+        """Map ``track`` to another OS process in the Chrome export.
+
+        The engine registers each ``worker/<i>`` track against the live
+        worker's pid (re-registering on respawn), so the merged trace
+        shows one Perfetto *process* group per worker instead of fake
+        threads of the driver.  Unmapped tracks stay with the driver
+        (pid 0).
+        """
+        self._procs[track] = (int(pid), name or track)
+        if track not in self._tracks:
+            self._tracks.append(track)
 
     # -- queries ----------------------------------------------------------------
 
@@ -144,29 +161,54 @@ class FlightRecorder:
     def chrome_trace(self) -> dict[str, Any]:
         """The trace as a Chrome trace-event JSON object.
 
-        One process (pid 0) with one named thread per track; spans are
-        "X" complete events, instants thread-scoped "i" events, counter
-        samples "C" events.  Load the written file in ``chrome://tracing``
-        or https://ui.perfetto.dev.
+        Driver tracks live under pid 0; tracks registered through
+        :meth:`set_process` (pool workers) get their owning process's
+        real pid, so Perfetto renders one process group per worker.
+        Every pid carries a ``process_name`` metadata event and every
+        track a ``thread_name`` one; timeline events are sorted by
+        timestamp (recording order as the tiebreaker), so timestamps
+        are monotonically non-decreasing per track.  Spans are "X"
+        complete events, instants thread-scoped "i" events, counter
+        samples "C" events.  Load the written file in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
         """
-        tids = {track: i for i, track in enumerate(self._tracks)}
-        out: list[dict[str, Any]] = [
-            {
+        proc_of = {
+            track: self._procs.get(track, (0, self.name))
+            for track in self._tracks
+        }
+        tids: dict[str, int] = {}
+        next_tid: dict[int, int] = {}
+        for track in self._tracks:
+            pid = proc_of[track][0]
+            tids[track] = next_tid.get(pid, 0)
+            next_tid[pid] = tids[track] + 1
+        out: list[dict[str, Any]] = []
+        seen_pids: set[int] = set()
+        for track in self._tracks:
+            pid, pname = proc_of[track]
+            if pid not in seen_pids:
+                seen_pids.add(pid)
+                out.append({
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": pname if pid else self.name},
+                })
+            out.append({
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 0,
-                "tid": tid,
+                "pid": pid,
+                "tid": tids[track],
                 "args": {"name": track},
-            }
-            for track, tid in tids.items()
-        ]
-        for e in self.events:
+            })
+        for e in sorted(self.events, key=lambda e: (e.ts, e.seq)):
             row: dict[str, Any] = {
                 "name": e.name,
                 "cat": e.cat or "default",
                 "ph": e.ph,
                 "ts": e.ts * _CHROME_US_PER_SECOND,
-                "pid": 0,
+                "pid": proc_of[e.track][0],
                 "tid": tids[e.track],
             }
             if e.ph == "X":

@@ -136,6 +136,7 @@ def run_scenario(
         chaotic.run_steps(steps)
         got = chaotic.gather_state()
         desc = chaotic.engine.describe()
+        health = chaotic.engine.health().to_json()
     identical = bool(
         np.array_equal(ref.h, got.h) and np.array_equal(ref.v, got.v)
     )
@@ -153,5 +154,6 @@ def run_scenario(
         "pool_active_at_end": desc["active"],
         "recovery": desc["recovery"],
         "degrade_reasons": desc["degrade_reasons"],
+        "health": health,
         "fault_events": faults.summary() if faults is not None else {},
     }

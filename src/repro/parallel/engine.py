@@ -69,6 +69,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import KernelError
+from ..obs.telemetry import TelemetrySpec, quantile
 from ..obs.tracer import NULL_TRACER
 from .supervisor import (
     HEARTBEAT_TIMEOUT,
@@ -175,6 +176,8 @@ class WorkerStats:
     bytes_out: int = 0
     errors: int = 0
     respawns: int = 0
+    generation: int = 0
+    queue_peak: int = 0
 
 
 @dataclass
@@ -359,11 +362,44 @@ class ParallelEngine:
         faults=None,
         integrity: bool = True,
         guard_nonfinite: bool = False,
+        telemetry: TelemetrySpec | bool | None = None,
+        profile_hz: float = 0.0,
     ) -> None:
         self.workers = max(0, int(workers))
         self.validate = bool(validate)
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.label = label
+        # Cross-process telemetry (DESIGN.md §13).  ``None`` means
+        # "follow the tracer": an enabled tracer (or a requested
+        # profiler) turns worker-side measurement on; otherwise the
+        # workers ship ``None`` packets and measure nothing — the
+        # NULL_TRACER-style zero-cost default.
+        if telemetry is None:
+            spec = TelemetrySpec(
+                enabled=self.tracer.enabled or profile_hz > 0,
+                profile_hz=float(profile_hz),
+            )
+        elif isinstance(telemetry, TelemetrySpec):
+            spec = telemetry
+        else:
+            spec = TelemetrySpec(enabled=bool(telemetry),
+                                 profile_hz=float(profile_hz))
+        self.telemetry: TelemetrySpec | None = spec if spec.live else None
+        #: Driver-side aggregate of the metric deltas worker packets
+        #: carried (``parallel.worker.<i>.compute.seconds``, ...).
+        self.telemetry_metrics = None
+        if self.telemetry is not None:
+            from ..obs.metrics import MetricsRegistry
+
+            self.telemetry_metrics = MetricsRegistry(f"{label}.telemetry")
+        self.telemetry_packets = 0
+        #: Aggregated profiler frames: frame -> (self, cumulative).
+        self.profile_frames: dict[str, tuple[int, int]] = {}
+        self.profile_samples = 0
+        #: Worker-side heartbeat ages sampled at each result send.
+        self._hb_samples: list[float] = []
+        #: In-flight tasks per worker slot (the queue-depth counters).
+        self._queue_depth: dict[int, int] = {}
         self.supervise = bool(supervise)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.result_timeout = float(result_timeout)
@@ -444,11 +480,13 @@ class ParallelEngine:
             resource_tracker.ensure_running()
             self._result_q = ctx.SimpleQueue()
             self.supervisor = WorkerSupervisor(
-                ctx, self.workers, self._result_q, self.label, chaos=self.chaos
+                ctx, self.workers, self._result_q, self.label,
+                chaos=self.chaos, telemetry=self.telemetry,
             )
             self._owned_shm.add(self.supervisor.shm_name)
             for w in range(self.workers):
                 self.supervisor.spawn(w)
+                self._register_worker_pid(w)
             self.stats = [WorkerStats(w) for w in range(self.workers)]
             self.active = True
             self._ping()
@@ -456,6 +494,19 @@ class ParallelEngine:
             self._record_degrade("startup", f"pool start failed: {exc!r}")
             self._shutdown_pool()
             self.active = False
+
+    def _register_worker_pid(self, slot: int) -> None:
+        """Map ``worker/<slot>``'s trace track to the live process's pid
+        so the Chrome export renders one process group per worker."""
+        if not self.tracer.enabled or self.tracer.recorder is None:
+            return
+        handle = self.supervisor.handles[slot]
+        if handle is None or handle.proc.pid is None:
+            return
+        self.tracer.recorder.set_process(
+            worker_track(slot), handle.proc.pid,
+            f"{self.label}-worker-{slot}",
+        )
 
     def _ping(self) -> None:
         """Prove every queue direction works before trusting the pool."""
@@ -482,9 +533,24 @@ class ParallelEngine:
         """
         if self._closed:
             return
+        self._flush_profile()
         self._shutdown_pool()
         self.active = False
         self._closed = True
+
+    def _flush_profile(self) -> None:
+        """Emit the aggregated profiler frames as ``profile`` counters.
+
+        One counter event per frame (value = self samples), stamped at
+        close time — the Perfetto-visible rendering of the statistical
+        profile; the exact counts stay queryable via
+        ``engine.profile_frames``.
+        """
+        if not self.tracer.enabled or not self.profile_frames:
+            return
+        now = time.perf_counter() - self._t0
+        for frame, (self_n, _cum) in sorted(self.profile_frames.items()):
+            self.tracer.counter("profile", frame, now, self_n)
 
     def _shutdown_pool(self) -> None:
         self._tasks.clear()
@@ -579,6 +645,15 @@ class ParallelEngine:
         rec.slot = slot
         self.supervisor.handles[slot].task_q.put(
             (tid, rec.attempt, rec.fn, rec.meta, rec.desc))
+        depth = self._queue_depth.get(slot, 0) + 1
+        self._queue_depth[slot] = depth
+        if 0 <= slot < len(self.stats):
+            self.stats[slot].queue_peak = max(self.stats[slot].queue_peak, depth)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "health", f"queue.depth.w{slot}",
+                time.perf_counter() - self._t0, depth,
+            )
 
     def _submit(self, fn, payloads) -> PendingRun:
         payloads = list(payloads)
@@ -683,11 +758,15 @@ class ParallelEngine:
         self._finish_serial(pend)
         pend.done = True
         if pend.overlapped and self.tracer.enabled:
+            t_done = time.perf_counter() - self._t0
             self.tracer.span_at(
                 "pipeline", f"wait:{getattr(pend.fn, '__name__', pend.fn)}",
-                t_entry - self._t0, time.perf_counter() - self._t0,
+                t_entry - self._t0, t_done,
                 cat="pipeline", tasks=len(pend.payloads),
             )
+            self.tracer.counter(
+                "pipeline", "overlap.fraction", t_done,
+                self.overlap_fraction())
         if pend.failures:
             raise KernelError(
                 "parallel task failed:\n" + "\n".join(pend.failures)
@@ -771,6 +850,7 @@ class ParallelEngine:
             # when no survivor is left.
             live = self.supervisor.live_slots()
             respawn_first = slot in live or not live
+            self._queue_depth[slot] = 0  # its queue died with the worker
             if respawn_first:
                 self._respawn_slot(slot, len(lost))
             for tid in lost:
@@ -789,9 +869,13 @@ class ParallelEngine:
 
     def _respawn_slot(self, slot: int, redistributed: int) -> None:
         self.supervisor.respawn(slot)
+        self._register_worker_pid(slot)
         self.recovery["respawns"] += 1
         if 0 <= slot < len(self.stats):
             self.stats[slot].respawns += 1
+            handle = self.supervisor.handles[slot]
+            if handle is not None:
+                self.stats[slot].generation = handle.generation
         if self.tracer.enabled:
             self.tracer.instant(
                 "supervisor", f"respawn:{worker_track(slot)}",
@@ -822,10 +906,20 @@ class ParallelEngine:
         """Deliver one result-queue item to the batch that owns it,
         verifying integrity (CRC32, optional NaN/Inf guard) before
         accepting — a failed check re-executes the task instead."""
-        tid, slot, status, data, crc, t0, t1, fn_name = item
+        tid, slot, status, data, crc, t0, t1, fn_name = item[:8]
+        packet = item[8] if len(item) > 8 else None
         rec = self._tasks.get(tid)
         if rec is None:
             return  # stale result from a batch already degraded/recovered
+        if packet is not None:
+            self._ingest_packet(slot, packet, t1)
+        if self._queue_depth.get(slot, 0) > 0:
+            self._queue_depth[slot] -= 1
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "health", f"queue.depth.w{slot}",
+                    time.perf_counter() - self._t0, self._queue_depth[slot],
+                )
         pend, idx = rec.pend, rec.idx
         st = self.stats[slot] if 0 <= slot < len(self.stats) else WorkerStats(slot)
         if status == "err":
@@ -878,6 +972,42 @@ class ParallelEngine:
                 task=idx, **{k: v for k, v in meta_in.items()
                              if isinstance(v, (int, float, str, bool))},
             )
+
+    def _ingest_packet(self, slot: int, packet: dict, t1: float) -> None:
+        """Merge one worker telemetry packet into the driver's view.
+
+        Re-records the in-worker sub-spans on the worker's trace track
+        (worker ``perf_counter`` stamps are driver-comparable on Linux:
+        both read ``CLOCK_MONOTONIC`` across the fork), folds metric
+        deltas and profiler frames into the engine aggregates, and
+        samples the worker-reported heartbeat age as a counter on the
+        ``health`` track.
+        """
+        self.telemetry_packets += 1
+        hb_age = packet.get("hb_age")
+        if hb_age is not None and len(self._hb_samples) < 65536:
+            self._hb_samples.append(float(hb_age))
+        if 0 <= slot < len(self.stats):
+            self.stats[slot].generation = max(
+                self.stats[slot].generation, packet.get("gen", 0))
+        if self.telemetry_metrics is not None:
+            for key, delta in packet.get("metrics", {}).items():
+                self.telemetry_metrics.inc(
+                    f"parallel.worker.{slot}.{key}", delta)
+        profile = packet.get("profile")
+        if profile:
+            from ..obs.profiler import merge_profiles
+
+            merge_profiles(self.profile_frames, profile)
+        self.profile_samples += packet.get("samples", 0)
+        if self.tracer.enabled:
+            track = worker_track(slot)
+            for name, s0, s1 in packet.get("spans", ()):
+                self.tracer.span_at(track, name, s0 - self._t0, s1 - self._t0,
+                                    cat="telemetry")
+            if hb_age is not None:
+                self.tracer.counter(
+                    "health", f"heartbeat.age.w{slot}", t1 - self._t0, hb_age)
 
     def _degrade(self, reason: str, kind: str = "worker-loss") -> None:
         """Pool death: record why, stop the pool, finish pending work
@@ -998,14 +1128,35 @@ class ParallelEngine:
                 "wait_seconds": self.pipeline_wait_seconds,
                 "overlap_fraction": self.overlap_fraction(),
             },
+            "telemetry": {
+                "enabled": self.telemetry is not None,
+                "packets": self.telemetry_packets,
+                "profile_samples": self.profile_samples,
+                "profile_frames": len(self.profile_frames),
+                "heartbeat_age_max": max(self._hb_samples, default=0.0),
+                "heartbeat_age_p99": quantile(self._hb_samples, 0.99),
+            },
             "per_worker": [
                 {"worker": s.worker, "tasks": s.tasks,
                  "busy_seconds": s.busy_seconds, "bytes_in": s.bytes_in,
                  "bytes_out": s.bytes_out, "errors": s.errors,
-                 "respawns": s.respawns}
+                 "respawns": s.respawns, "generation": s.generation,
+                 "queue_peak": s.queue_peak}
                 for s in self.stats
             ],
         }
+
+    def health(self, monitor=None):
+        """Evaluate the run health rules over this engine's state.
+
+        Returns a :class:`~repro.obs.health.HealthReport` (verdict
+        ``ok``/``warn``/``critical`` plus findings) computed from
+        ``describe()`` and the telemetry heartbeat samples — see
+        DESIGN.md §13 for the rules.
+        """
+        from ..obs.health import HealthMonitor
+
+        return (monitor or HealthMonitor()).evaluate_engine(self)
 
 
 #: The shared always-serial engine: the default everywhere a

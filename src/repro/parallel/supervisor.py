@@ -203,7 +203,8 @@ def _chaos_post(spec: ChaosSpec | None, tid: int, attempt: int,
 
 
 def _worker_main(slot: int, generation: int, task_q, result_q,
-                 hb_desc: tuple[str, int], chaos: ChaosSpec | None) -> None:
+                 hb_desc: tuple[str, int], chaos: ChaosSpec | None,
+                 telemetry=None) -> None:
     """Pool worker loop: attach inputs, compute, send results back.
 
     Inputs arrive through the driver-owned shared-memory blocks;
@@ -218,6 +219,13 @@ def _worker_main(slot: int, generation: int, task_q, result_q,
     A daemon heartbeat thread stamps ``time.monotonic()`` into this
     worker's slot of the shared heartbeat block; the driver declares
     the worker hung when the stamp goes stale.
+
+    With a live :class:`~repro.obs.telemetry.TelemetrySpec`, every
+    result carries a telemetry packet (in-worker ``unpack``/``compute``
+    sub-spans, metric deltas, profiler frames, the worker's own
+    heartbeat age) as a ninth tuple field; without one the field is
+    ``None`` and nothing extra is measured — the NULL_TRACER-style
+    zero-cost default.
     """
     attached: dict[str, shared_memory.SharedMemory] = {}
     hb_name, nslots = hb_desc
@@ -228,6 +236,11 @@ def _worker_main(slot: int, generation: int, task_q, result_q,
         target=_heartbeat_loop, args=(hb_view, slot, hb_stop),
         daemon=True, name=f"heartbeat-{slot}",
     ).start()
+    tel = None
+    if telemetry is not None and getattr(telemetry, "live", False):
+        from ..obs.telemetry import WorkerTelemetry
+
+        tel = WorkerTelemetry(telemetry, slot, generation, hb_view)
     try:
         while True:
             item = task_q.get()
@@ -249,23 +262,37 @@ def _worker_main(slot: int, generation: int, task_q, result_q,
                         shm = shared_memory.SharedMemory(name=name)
                         attached[name] = shm
                     ins = _unpack(shm, metas)
+                tc0 = time.perf_counter()
                 outs = fn(meta, *ins)
+                tc1 = time.perf_counter()
                 if not isinstance(outs, (tuple, list)):
                     outs = (outs,)
                 outs = tuple(np.ascontiguousarray(o) for o in outs)
                 crc = result_crc(outs)
                 _chaos_post(chaos, tid, attempt, outs)
+                packet = None
+                if tel is not None:
+                    packet = tel.packet(
+                        spans=(("unpack", t0, tc0), ("compute", tc0, tc1)),
+                        metrics={"unpack.seconds": tc0 - t0,
+                                 "compute.seconds": tc1 - tc0,
+                                 "tasks": 1.0},
+                    )
                 result_q.put(
                     (tid, slot, "ok", outs, crc, t0, time.perf_counter(),
-                     getattr(fn, "__name__", str(fn)))
+                     getattr(fn, "__name__", str(fn)), packet)
                 )
             except BaseException:
                 result_q.put(
                     (tid, slot, "err", traceback.format_exc(), None, t0,
-                     time.perf_counter(), getattr(fn, "__name__", str(fn)))
+                     time.perf_counter(), getattr(fn, "__name__", str(fn)),
+                     tel.packet(metrics={"errors": 1.0})
+                     if tel is not None else None)
                 )
     finally:
         hb_stop.set()
+        if tel is not None:
+            tel.close()
         for shm in attached.values():
             try:
                 shm.close()
@@ -310,12 +337,16 @@ class WorkerSupervisor:
     """
 
     def __init__(self, ctx, nslots: int, result_q, label: str,
-                 chaos: ChaosSpec | None = None) -> None:
+                 chaos: ChaosSpec | None = None, telemetry=None) -> None:
         self.ctx = ctx
         self.nslots = nslots
         self.result_q = result_q
         self.label = label
         self.chaos = chaos
+        #: Optional :class:`~repro.obs.telemetry.TelemetrySpec`, handed
+        #: to every (re)spawned worker — picklable, so it crosses the
+        #: fork as a plain process argument.
+        self.telemetry = telemetry
         self.hb = shared_memory.SharedMemory(create=True, size=8 * max(1, nslots))
         self.hb_view = np.ndarray((nslots,), dtype=np.float64, buffer=self.hb.buf)
         self.handles: list[WorkerHandle | None] = [None] * nslots
@@ -336,7 +367,7 @@ class WorkerSupervisor:
         proc = self.ctx.Process(
             target=_worker_main,
             args=(slot, generation, task_q, self.result_q,
-                  (self.hb.name, self.nslots), self.chaos),
+                  (self.hb.name, self.nslots), self.chaos, self.telemetry),
             daemon=True,
             name=f"{self.label}-worker-{slot}.g{generation}",
         )

@@ -44,6 +44,10 @@ class RunReport:
     #: parallel pool (worker respawns, redistributed tasks, ...); empty
     #: for serial models.
     engine_recovery: dict = field(default_factory=dict)
+    #: :class:`repro.obs.health.HealthReport` as JSON when the model
+    #: exposes a pool engine (``verdict``/``findings``/``stats``);
+    #: empty for serial models.
+    health: dict = field(default_factory=dict)
     log: list[str] = field(default_factory=list)
 
 
@@ -154,6 +158,7 @@ class ResilientRunner:
         engine = getattr(self.model, "engine", None)
         if engine is not None:
             self.report.engine_recovery = dict(engine.recovery)
+            self.report.health = engine.health().to_json()
         return self.report
 
     def _rollback(self, problems: list[str]) -> None:
