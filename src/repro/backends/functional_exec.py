@@ -7,12 +7,14 @@ Two related things live here:
    paper's Algorithms 1 and 2 run through the simulated hardware;
 2. the **execution-path dispatch** for the real HOMME kernels
    (:func:`homme_execution`): selecting ``"batched"`` (whole element
-   stack per kernel call, memoized operator tensors) or ``"looped"``
-   (one dispatch per element — the pre-redesign discipline).  Both
-   paths are kept permanently and cross-validated
+   stack per kernel call, memoized operator tensors), ``"looped"``
+   (one dispatch per element — the pre-redesign discipline), or
+   ``"fused"`` (single-pass BLAS contractions against preassembled
+   per-mesh operands — :mod:`repro.homme.fused`).  All paths are kept
+   permanently and cross-validated against batched
    (:func:`cross_validate_paths`, asserted to 1e-12 in
    ``tests/test_exec_paths.py``); ``repro.bench`` times them against
-   each other and commits the speedup to ``BENCH_homme.json``.
+   each other and commits the speedups to ``BENCH_homme.json``.
 
 This module executes a small flux-form tracer update
 
@@ -43,6 +45,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import KernelError, LDMOverflowError
+from ..homme import fused as _fz
 from ..homme import looped as _looped
 from ..homme import operators as _op
 from ..homme import rhs as _rhs
@@ -95,11 +98,20 @@ EXECUTION_PATHS: dict[str, HommeExecution] = {
         vlaplace=_looped.vlaplace_sphere_looped,
         euler_path="looped",
     ),
+    "fused": HommeExecution(
+        name="fused",
+        compute_rhs=_fz.compute_rhs_fused,
+        sw_rhs=_fz.sw_compute_rhs_fused,
+        laplace_wk=_fz.laplace_sphere_wk_fused,
+        vlaplace=_fz.vlaplace_sphere_fused,
+        euler_path="fused",
+    ),
 }
 
 
 def homme_execution(name: str = "batched") -> HommeExecution:
-    """Look up an execution path by name (``"batched"`` or ``"looped"``)."""
+    """Look up an execution path by name (``"batched"``, ``"looped"``
+    or ``"fused"``)."""
     try:
         return EXECUTION_PATHS[name]
     except KeyError:
@@ -109,17 +121,18 @@ def homme_execution(name: str = "batched") -> HommeExecution:
 
 
 def cross_validate_paths(
-    state, geom, phis=None, rtol: float = 1e-12
+    state, geom, phis=None, rtol: float = 1e-12,
+    paths: tuple[str, ...] = ("looped", "fused"),
 ) -> dict[str, float]:
-    """Run every dispatchable kernel through both paths; return max
-    relative disagreements (and raise if any exceeds ``rtol``).
+    """Run every dispatchable kernel through every alternate path;
+    return max relative disagreements against batched (and raise if any
+    exceeds ``rtol``).
 
-    The contract behind the batched path: batching is *only* a dispatch
-    change, so every kernel must agree with its looped twin to
-    roundoff on the same inputs.
+    The contract behind the alternate paths: looping and fusing are
+    *only* dispatch/contraction-order changes, so every kernel must
+    agree with its batched twin to roundoff on the same inputs.
     """
     b = EXECUTION_PATHS["batched"]
-    lo = EXECUTION_PATHS["looped"]
 
     def rel(a, c):
         scale = max(float(np.max(np.abs(a))), 1e-300)
@@ -127,16 +140,20 @@ def cross_validate_paths(
 
     errs: dict[str, float] = {}
     dv_b, dT_b, ddp_b = b.compute_rhs(state, geom, phis)
-    dv_l, dT_l, ddp_l = lo.compute_rhs(state, geom, phis)
-    errs["compute_rhs.dv"] = rel(dv_b, dv_l)
-    errs["compute_rhs.dT"] = rel(dT_b, dT_l)
-    errs["compute_rhs.ddp"] = rel(ddp_b, ddp_l)
-    errs["laplace_wk.T"] = rel(b.laplace_wk(state.T, geom), lo.laplace_wk(state.T, geom))
-    errs["vlaplace.v"] = rel(b.vlaplace(state.v, geom), lo.vlaplace(state.v, geom))
+    lap_b = b.laplace_wk(state.T, geom)
+    vlap_b = b.vlaplace(state.v, geom)
+    for name in paths:
+        o = homme_execution(name)
+        dv_o, dT_o, ddp_o = o.compute_rhs(state, geom, phis)
+        errs[f"{name}.compute_rhs.dv"] = rel(dv_b, dv_o)
+        errs[f"{name}.compute_rhs.dT"] = rel(dT_b, dT_o)
+        errs[f"{name}.compute_rhs.ddp"] = rel(ddp_b, ddp_o)
+        errs[f"{name}.laplace_wk.T"] = rel(lap_b, o.laplace_wk(state.T, geom))
+        errs[f"{name}.vlaplace.v"] = rel(vlap_b, o.vlaplace(state.v, geom))
     worst = max(errs.values())
     if worst > rtol:
         raise KernelError(
-            f"batched/looped cross-validation failed: max rel err {worst:.3e} "
+            f"execution-path cross-validation failed: max rel err {worst:.3e} "
             f"> {rtol:.1e} ({errs})"
         )
     return errs

@@ -106,7 +106,12 @@ def compare_reports(
     for name, val in sorted(current.get("derived", {}).items()):
         floor = floors.get(name)
         base_val = baseline.get("derived", {}).get(name)
-        note = f" (baseline {base_val:.2f}x)" if base_val is not None else ""
+        # A derived entry without a baseline counterpart is informational
+        # (the suite is allowed to grow) — but its floor still applies.
+        note = (
+            f" (baseline {base_val:.2f}x)" if base_val is not None
+            else " (new, no baseline entry)"
+        )
         if floor is not None and val < floor:
             ok = False
             lines.append(f"FAIL {name}: {val:.2f}x below floor {floor:.1f}x{note}")

@@ -1,18 +1,21 @@
 """The benchmark definitions behind ``BENCH_homme.json``.
 
-Wall-clock benchmarks time the same kernel through both execution
+Wall-clock benchmarks time the same kernel through all three execution
 paths (:mod:`repro.backends.functional_exec`), so every entry comes
-with a derived ``speedup`` — the quantity the tentpole claim lives in
-(batched must stay >= 3x looped on the ne8 shallow-water RK step).
-Simulated-clock benchmarks rerun the Table-1 kernels through the four
-backend models; they are exactly deterministic and drift only when the
-performance model itself changes.
+with derived ``speedup`` entries — the quantities the tentpole claims
+live in (batched must stay >= 3x looped on the ne8 shallow-water RK
+step; the fused contraction path must stay >= 1.5x batched on the
+primitive-equation RHS chain).  Simulated-clock benchmarks rerun the
+Table-1
+kernels through the four backend models; they are exactly
+deterministic and drift only when the performance model itself changes.
 
-Only the *batched* wall entries carry ``meta.gated = True``.  The
-looped reference path is dominated by Python interpreter dispatch,
-whose wall time jitters far more than the 25% gate between otherwise
-identical runs; it is recorded for the derived speedups (which have
-committed floors) but is not individually gated.
+Only the *batched* and *fused* wall entries carry
+``meta.gated = True``.  The looped reference path is dominated by
+Python interpreter dispatch, whose wall time jitters far more than the
+25% gate between otherwise identical runs; it is recorded for the
+derived speedups (which have committed floors) but is not individually
+gated.
 """
 
 from __future__ import annotations
@@ -34,6 +37,16 @@ from .harness import SCHEMA, BenchResult, machine_calibration, time_wall
 SPEEDUP_FLOORS = {
     "sw_rk_step.ne8.speedup": 3.0,
     "prim_rhs.ne4.speedup": 2.0,
+    # Fused-contraction fast path (DESIGN.md §14): the acceptance floor
+    # lives on the primitive-equation RHS chain (measured ~2.2-2.7x on
+    # the committed-baseline machine, >= 2.2x even at repeats=1); the
+    # euler floor is a guardrail against the fused tracer stage
+    # degenerating to batched-equivalent cost.  The ne8 SW RK step's
+    # fused speedup is reported but not floored: the step is DSS-
+    # dominated, and its repeats=1 spread (1.0-1.3x) sits on top of any
+    # meaningful floor.
+    "prim_rhs.ne4.fused_speedup": 1.5,
+    "euler_step.ne4.fused_speedup": 1.1,
     "dist_sw_step.ne8.parallel_speedup": 1.3,
     "dist_sw_step.ne8.pipelined_speedup": 1.15,
     # Recovery overhead gate (DESIGN.md §12): one injected worker kill
@@ -82,10 +95,10 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         repeats = 7 if quick else 11
     results: list[BenchResult] = []
 
-    # -- wall clock: ne8 shallow-water RK step, batched vs looped ----------
+    # -- wall clock: ne8 shallow-water RK step, three exec paths -----------
     mesh8 = CubedSphereMesh(8, 4)
     init8 = williamson2_initial(mesh8)
-    for path in ("batched", "looped"):
+    for path in ("batched", "looped", "fused"):
         model = ShallowWaterModel(mesh8, state=init8.copy(), exec_path=path)
 
         def reset(model=model):
@@ -96,25 +109,25 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             name=f"sw_rk_step.ne8.{path}", clock="wall", seconds=secs,
             repeats=repeats,
             meta={"ne": 8, "nelem": mesh8.nelem, "kernel": "sw RK3 step",
-                  "gated": path == "batched"},
+                  "gated": path != "looped"},
         ))
 
-    # -- wall clock: primitive-equation RHS, batched vs looped -------------
+    # -- wall clock: primitive-equation RHS, three exec paths --------------
     from ..backends.functional_exec import homme_execution
 
     state, geom = _prim_state()
-    for path in ("batched", "looped"):
+    for path in ("batched", "looped", "fused"):
         ex = homme_execution(path)
         secs = time_wall(lambda: ex.compute_rhs(state, geom), repeats=repeats)
         results.append(BenchResult(
             name=f"prim_rhs.ne4.{path}", clock="wall", seconds=secs,
             repeats=repeats,
             meta={"ne": 4, "nlev": state.nlev, "kernel": "compute_rhs",
-                  "gated": path == "batched"},
+                  "gated": path != "looped"},
         ))
 
-    # -- wall clock: all-tracer euler step, batched vs per-tracer loop -----
-    for path in ("batched", "looped"):
+    # -- wall clock: all-tracer euler step, three exec paths ---------------
+    for path in ("batched", "looped", "fused"):
         secs = time_wall(
             lambda: euler_step(state, geom, 60.0, path=path), repeats=repeats
         )
@@ -122,7 +135,7 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             name=f"euler_step.ne4.{path}", clock="wall", seconds=secs,
             repeats=repeats,
             meta={"ne": 4, "qsize": state.qsize, "kernel": "euler_step",
-                  "gated": path == "batched"},
+                  "gated": path != "looped"},
         ))
 
     # -- wall clock: ne8 distributed SW step, serial vs real cores ---------
@@ -251,6 +264,11 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         b = by_name.get(f"{group}.{den}")
         if a is not None and b is not None:
             derived[f"{group}.speedup"] = a.seconds / b.seconds
+        # Fused-path gain over the batched baseline (the tentpole claim
+        # of the fused-contraction fast path).
+        c = by_name.get(f"{group}.fused")
+        if b is not None and c is not None:
+            derived[f"{group}.fused_speedup"] = b.seconds / c.seconds
     ser = by_name.get("dist_sw_step.ne8.serial")
     par = by_name.get("dist_sw_step.ne8.parallel")
     pipe = by_name.get("dist_sw_step.ne8.pipelined")
@@ -332,7 +350,9 @@ def render_report(report: dict) -> str:
     lines.append("")
     for name, val in report["derived"].items():
         floor = report.get("floors", {}).get(name)
-        bound = f"  (floor {floor:.1f}x)" if floor else ""
+        # `is not None`, not truthiness: a 0.0 floor (or any fractional
+        # overhead floor rounding to 0) must still render.
+        bound = f"  (floor {floor:.2f}x)" if floor is not None else ""
         lines.append(f"{name:<42} {val:>10.2f}x{bound}")
     for name, reason in report.get("skipped", {}).items():
         lines.append(f"skipped {name}: {reason}")

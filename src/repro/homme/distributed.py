@@ -157,6 +157,11 @@ class DistributedShallowWater:
     with worker compute (:func:`_pipelined_fanout`); results stay
     bitwise identical and the simulated clocks are untouched — only
     wall time changes.
+
+    ``exec_path`` selects the element-local kernels each rank task runs
+    (``"batched"`` default, ``"fused"`` for the single-pass contraction
+    kernels, ``"looped"`` for the per-element baseline); the DSS
+    structure is identical across paths.
     """
 
     def __init__(
@@ -172,9 +177,14 @@ class DistributedShallowWater:
         validate: bool = False,
         pipeline: bool = False,
         engine_kwargs: dict | None = None,
+        exec_path: str = "batched",
     ) -> None:
+        from ..backends.functional_exec import homme_execution
+
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
+        homme_execution(exec_path)  # fail fast on unknown paths
+        self.exec_path = exec_path
         self.mesh = mesh
         self.nranks = nranks
         self.mode = mode
@@ -252,14 +262,15 @@ class DistributedShallowWater:
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
         if _pipeline_active(self):
             outs = _pipelined_fanout(
-                self, sw_stage_task, {"dt": dt},
+                self, sw_stage_task, {"dt": dt, "path": self.exec_path},
                 [(bases[r].h, bases[r].v, points[r].h, points[r].v)
                  for r in range(self.nranks)],
                 nout=2,
             )
         else:
             outs = self.engine.run(sw_stage_task, [
-                ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+                ({"ctx": self._ctx_key, "rank": r, "dt": dt,
+                  "path": self.exec_path},
                  (bases[r].h, bases[r].v, points[r].h, points[r].v))
                 for r in range(self.nranks)
             ])
@@ -386,6 +397,10 @@ class DistributedPrimitiveEquations:
     per-field depth-2 software pipeline (the DSS of field *f* overlaps
     the laplacian of field *f+1*).  DSS calls keep their slot order, so
     both the trajectory and the simulated clocks are bitwise unchanged.
+
+    ``exec_path`` selects the element-local kernels the per-rank tasks
+    run (``"batched"`` default, ``"fused"``, ``"looped"``); the
+    exchange/allreduce structure is identical across paths.
     """
 
     def __init__(
@@ -402,11 +417,15 @@ class DistributedPrimitiveEquations:
         validate: bool = False,
         pipeline: bool = False,
         engine_kwargs: dict | None = None,
+        exec_path: str = "batched",
     ) -> None:
+        from ..backends.functional_exec import homme_execution
         from ..homme.hypervis import nu_for_ne
 
         if mode not in ("overlap", "classic"):
             raise KernelError(f"unknown exchange mode {mode!r}")
+        homme_execution(exec_path)  # fail fast on unknown paths
+        self.exec_path = exec_path
         self.cfg = cfg
         self.mesh = mesh
         self.nranks = nranks
@@ -484,7 +503,7 @@ class DistributedPrimitiveEquations:
         t0s = [self.mpi.now(r) for r in range(self.nranks)]
         if _pipeline_active(self):
             outs = _pipelined_fanout(
-                self, prim_stage_task, {"dt": dt},
+                self, prim_stage_task, {"dt": dt, "path": self.exec_path},
                 [(bases[r].v, bases[r].T, bases[r].dp3d,
                   points[r].v, points[r].T, points[r].dp3d)
                  for r in range(self.nranks)],
@@ -492,7 +511,8 @@ class DistributedPrimitiveEquations:
             )
         else:
             outs = self.engine.run(prim_stage_task, [
-                ({"ctx": self._ctx_key, "rank": r, "dt": dt},
+                ({"ctx": self._ctx_key, "rank": r, "dt": dt,
+                  "path": self.exec_path},
                  (bases[r].v, bases[r].T, bases[r].dp3d,
                   points[r].v, points[r].T, points[r].dp3d))
                 for r in range(self.nranks)
@@ -568,7 +588,8 @@ class DistributedPrimitiveEquations:
                 # Three exchanges per (subcycle, tracer): st1, st2, limited.
                 slot0 = 3 * (sub_i * self.cfg.qsize + q)
                 metas = [
-                    {"ctx": self._ctx_key, "rank": r, "sdt": sdt}
+                    {"ctx": self._ctx_key, "rank": r, "sdt": sdt,
+                     "path": self.exec_path}
                     for r in range(self.nranks)
                 ]
                 st1 = self._dss_levels([o[0] for o in self.engine.run(
@@ -611,7 +632,10 @@ class DistributedPrimitiveEquations:
         # the driver.  (Values are unchanged from the per-field form —
         # each field's laplacian/DSS chain is independent.)
         hv_t0s = [self.mpi.now(r) for r in range(self.nranks)]
-        hv_metas = [{"ctx": self._ctx_key, "rank": r} for r in range(self.nranks)]
+        hv_metas = [
+            {"ctx": self._ctx_key, "rank": r, "path": self.exec_path}
+            for r in range(self.nranks)
+        ]
         if _pipeline_active(self):
             bih_T, bih_v, bih_dp = self._hypervis_pipelined(s3, hv_metas)
         else:

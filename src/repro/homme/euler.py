@@ -107,18 +107,32 @@ def euler_step(
 
     ``path="batched"`` advects and assembles every tracer in one shot
     (velocity and metric terms touched once per stage);
-    ``path="looped"`` keeps the historical per-tracer loop — the
-    contention point between the paper's execution backends, retained
-    for cross-validation and as the ``repro.bench`` baseline.
+    ``path="fused"`` additionally folds the metric into the velocity
+    planes once per step and skips the ``(..., 2)`` flux stack
+    (:mod:`repro.homme.fused`); ``path="looped"`` keeps the historical
+    per-tracer loop — the contention point between the paper's
+    execution backends, retained for cross-validation and as the
+    ``repro.bench`` baseline.
     """
     if dt <= 0:
         raise KernelError(f"dt must be positive, got {dt}")
     v = state.v
     qdp = state.qdp
-    if path == "batched":
-        f0 = advect_qdp_all(qdp, v, geom)
+    if path in ("batched", "fused"):
+        if path == "fused":
+            from .fused import advect_qdp_all_fused, fold_velocity
+
+            vm = fold_velocity(v, geom)
+
+            def adv(q):
+                return advect_qdp_all_fused(q, vm, geom)
+        else:
+            def adv(q):
+                return advect_qdp_all(q, v, geom)
+
+        f0 = adv(qdp)
         s1 = _dss_all(qdp + dt * f0, geom)
-        f1 = advect_qdp_all(s1, v, geom)
+        f1 = adv(s1)
         s2 = _dss_all(0.5 * (qdp + s1 + dt * f1), geom)
         if limiter:
             # The elementwise rescale breaks edge continuity; a closing

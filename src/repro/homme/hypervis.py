@@ -129,7 +129,14 @@ def advance_hypervis(
     """
     nu = nu_for_ne(ne) if nu is None else nu
     nu_p = nu if nu_p is None else nu_p
-    n_sub = subcycles or hypervis_stable_subcycles(dt, nu, ne, geom.radius)
+    if subcycles is None:
+        n_sub = hypervis_stable_subcycles(dt, nu, ne, geom.radius)
+    elif subcycles < 1:
+        # `subcycles or auto(...)` would silently re-enable auto-selection
+        # for an explicit 0 — an invalid request must fail loudly instead.
+        raise KernelError(f"subcycles must be >= 1, got {subcycles}")
+    else:
+        n_sub = subcycles
     sub_dt = dt / n_sub
     out = state
     for _ in range(n_sub):

@@ -52,6 +52,17 @@ def _t(geom: ElementGeometry, tensors: OperatorTensors | None) -> OperatorTensor
     return tensors if tensors is not None else geom.tensors
 
 
+def _match_dtype(out: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Cast a result back to the input field's dtype.
+
+    The geometry tensors are float64, so matmuls and metric products
+    silently promote float32 fields; every operator casts its return
+    through here so dtype is preserved end to end (a no-op for the
+    standard float64 states).
+    """
+    return out if out.dtype == ref.dtype else out.astype(ref.dtype)
+
+
 def d_dalpha(
     field: np.ndarray, geom: ElementGeometry,
     tensors: OperatorTensors | None = None,
@@ -62,7 +73,7 @@ def d_dalpha(
     matmul against the pre-transposed derivative matrix.
     """
     t = _t(geom, tensors)
-    return np.matmul(field, t.Dt) * t.inv_jac
+    return _match_dtype(np.matmul(field, t.Dt) * t.inv_jac, field)
 
 
 def d_dbeta(
@@ -71,7 +82,7 @@ def d_dbeta(
 ) -> np.ndarray:
     """d(field)/d(beta): GLL derivative along the second-to-last axis."""
     t = _t(geom, tensors)
-    return np.matmul(t.D, field) * t.inv_jac
+    return _match_dtype(np.matmul(t.D, field) * t.inv_jac, field)
 
 
 def gradient_sphere(
@@ -88,7 +99,7 @@ def gradient_sphere(
     mi00 = t.bshape(t.metinv00, s)
     mi01 = t.bshape(t.metinv01, s)
     mi11 = t.bshape(t.metinv11, s)
-    out = np.empty(s.shape + (2,))
+    out = np.empty(s.shape + (2,), dtype=s.dtype)
     out[..., 0] = mi00 * da + mi01 * db
     out[..., 1] = mi01 * da + mi11 * db
     return out
@@ -116,7 +127,8 @@ def divergence_sphere(
     inv_metdet = t.bshape(t.inv_metdet, v[..., 0])
     f1 = metdet * v[..., 0]
     f2 = metdet * v[..., 1]
-    return (d_dalpha(f1, geom, t) + d_dbeta(f2, geom, t)) * inv_metdet
+    out = (d_dalpha(f1, geom, t) + d_dbeta(f2, geom, t)) * inv_metdet
+    return _match_dtype(out, v)
 
 
 def _vcov(v: np.ndarray, t: OperatorTensors) -> tuple[np.ndarray, np.ndarray]:
@@ -141,7 +153,8 @@ def vorticity_sphere(
     t = _t(geom, tensors)
     vcov1, vcov2 = _vcov(v, t)
     inv_metdet = t.bshape(t.inv_metdet, v[..., 0])
-    return (d_dalpha(vcov2, geom, t) - d_dbeta(vcov1, geom, t)) * inv_metdet
+    out = (d_dalpha(vcov2, geom, t) - d_dbeta(vcov1, geom, t)) * inv_metdet
+    return _match_dtype(out, v)
 
 
 def kinetic_energy(
@@ -154,7 +167,8 @@ def kinetic_energy(
     m01 = t.bshape(t.met01, v[..., 0])
     m11 = t.bshape(t.met11, v[..., 0])
     v1, v2 = v[..., 0], v[..., 1]
-    return 0.5 * (m00 * v1 * v1 + 2.0 * (m01 * v1 * v2) + m11 * v2 * v2)
+    out = 0.5 * (m00 * v1 * v1 + 2.0 * (m01 * v1 * v2) + m11 * v2 * v2)
+    return _match_dtype(out, v)
 
 
 def k_cross(
@@ -212,7 +226,7 @@ def laplace_sphere_wk(
     # sum_q G1[..., i, q] D[q, j]  and  sum_p D[p, i] G2[..., p, j]
     W = -(np.matmul(G1, t.D) + np.matmul(t.Dt, G2)) * t.inv_jac
     inv_spheremp = t.bshape(t.inv_spheremp, s)
-    return W * inv_spheremp
+    return _match_dtype(W * inv_spheremp, s)
 
 
 def vlaplace_sphere(

@@ -109,9 +109,10 @@ def sw_compute_rhs(
 class ShallowWaterModel:
     """SE shallow-water solver (RK3, optional hyperviscosity).
 
-    ``exec_path`` selects how the element-local RHS is dispatched:
-    ``"batched"`` (default, whole element stack per call) or
-    ``"looped"`` (one call per element) — see
+    ``exec_path`` selects how the element-local kernels (RHS and the
+    hyperviscosity Laplacians) are dispatched: ``"batched"`` (default,
+    whole element stack per call), ``"looped"`` (one call per element)
+    or ``"fused"`` (single-pass contractions) — see
     :func:`repro.backends.functional_exec.homme_execution`.
     """
 
@@ -135,14 +136,16 @@ class ShallowWaterModel:
         self.nu = nu
         self.t = 0.0
         self.exec_path = exec_path
-        if exec_path == "batched":
-            self._rhs_fn = sw_compute_rhs
-        elif exec_path == "looped":
-            from .looped import sw_compute_rhs_looped
+        from ..backends.functional_exec import homme_execution
+        from ..errors import KernelError
 
-            self._rhs_fn = sw_compute_rhs_looped
-        else:
-            raise ValueError(f"unknown exec_path {exec_path!r}")
+        try:
+            self._exec = homme_execution(exec_path)
+        except KernelError:
+            # Model-construction contract predates the dispatch registry:
+            # a bad path here is a config error, reported as ValueError.
+            raise ValueError(f"unknown exec_path {exec_path!r}") from None
+        self._rhs_fn = self._exec.sw_rhs
 
     def _rhs(self, s: SWState) -> tuple[np.ndarray, np.ndarray]:
         return self._rhs_fn(s.h, s.v, self.geom)
@@ -161,12 +164,15 @@ class ShallowWaterModel:
         s2 = self._stage(s0, s1, self.dt / 2.0)
         s3 = self._stage(s0, s2, self.dt)
         if self.nu > 0:
-            # Weak form: exactly mass-conserving under DSS.
-            lap_h = self.geom.dss(op.laplace_sphere_wk(s3.h, self.geom))
-            bih_h = self.geom.dss(op.laplace_sphere_wk(lap_h, self.geom))
+            # Weak form: exactly mass-conserving under DSS.  The
+            # Laplacians dispatch through the selected execution path.
+            lap = self._exec.laplace_wk
+            vlap = self._exec.vlaplace
+            lap_h = self.geom.dss(lap(s3.h, self.geom))
+            bih_h = self.geom.dss(lap(lap_h, self.geom))
             s3.h = s3.h - self.dt * self.nu * bih_h
-            lap_v = self.geom.dss_vector(op.vlaplace_sphere(s3.v, self.geom))
-            bih_v = self.geom.dss_vector(op.vlaplace_sphere(lap_v, self.geom))
+            lap_v = self.geom.dss_vector(vlap(s3.v, self.geom))
+            bih_v = self.geom.dss_vector(vlap(lap_v, self.geom))
             s3.v = s3.v - self.dt * self.nu * bih_v
         self.state = s3
         self.t += self.dt

@@ -30,7 +30,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["OperatorTensors", "geometry_fingerprint", "build_tensors"]
+__all__ = [
+    "FusedOperands",
+    "OperatorTensors",
+    "build_fused_operands",
+    "build_tensors",
+    "geometry_fingerprint",
+]
+
+#: Compute dtypes the fused path supports; anything else falls back to
+#: float64 (the fused kernels never compute in integer arithmetic).
+FUSED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def geometry_fingerprint(geom) -> int:
@@ -83,6 +93,26 @@ class OperatorTensors:
     wk_fac: np.ndarray
     #: broadcast-view cache keyed by (array id, extra middle axes)
     _bcache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: fused contraction-operand bundles keyed by compute dtype
+    _fused: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def fused(self, dtype=np.float64) -> "FusedOperands":
+        """Memoized fused contraction operands for a compute dtype.
+
+        The folded planes (``wk_fac * metinv * inv_jac`` etc.) depend
+        only on the geometry this bundle was built from, so they are
+        assembled once per (mesh, dtype) and cached here; geometry
+        mutation invalidates them together with the parent bundle
+        through the fingerprint check on ``ElementGeometry.tensors``.
+        """
+        dt = np.dtype(dtype)
+        if dt not in FUSED_DTYPES:
+            dt = np.dtype(np.float64)
+        ops = self._fused.get(dt)
+        if ops is None:
+            ops = build_fused_operands(self, dt)
+            self._fused[dt] = ops
+        return ops
 
     def bshape(self, geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
         """Broadcast a (E, np, np) tensor against a field (E, ..., np, np).
@@ -130,4 +160,158 @@ def build_tensors(geom) -> OperatorTensors:
         spheremp=spheremp,
         inv_spheremp=1.0 / spheremp,
         wk_fac=metdet * wpwq[None, :, :] * jac**2,
+    )
+
+
+@dataclass(frozen=True)
+class FusedOperands:
+    """Preassembled contraction operands for :mod:`repro.homme.fused`.
+
+    Where the batched operators apply the Jacobian, metric and
+    quadrature factors as separate elementwise passes after each
+    derivative matmul, the fused kernels contract against planes with
+    those factors **folded in once per mesh** (DESIGN.md §14):
+
+    - ``mi__j``  = ``metinv__ * inv_jac`` — contravariant gradient in
+      one multiply-add per component;
+    - ``wk__``   = ``wk_fac * metinv__ * inv_jac`` — the whole first
+      pass of the weak Laplacian;
+    - ``wk_out`` = ``-(inv_jac * inv_spheremp)`` — its output scaling;
+    - ``imdj``   = ``inv_metdet * inv_jac`` — divergence / vorticity
+      normalization, and the analytic ``k x grad(zeta)`` factor
+      (``g . g^{-1}`` cancels exactly, so the vector Laplacian never
+      round-trips through the metric).
+
+    All planes are stored in the bundle's compute ``dtype`` (float64 or
+    the optional float32 mode), assembled in float64 and cast once.
+    """
+
+    #: compute dtype of every array in the bundle
+    dtype: np.dtype
+    #: GLL derivative matrix and transpose in the compute dtype
+    D: np.ndarray
+    Dt: np.ndarray
+    #: reciprocal reference-element Jacobian (python float: scalar
+    #: multiplies never promote the arrays under NEP 50)
+    inv_jac: float
+    #: metinv * inv_jac planes (contravariant gradient), (E, np, np)
+    mi00j: np.ndarray
+    mi01j: np.ndarray
+    mi11j: np.ndarray
+    #: wk_fac * metinv * inv_jac planes (weak-Laplacian first pass)
+    wk00: np.ndarray
+    wk01: np.ndarray
+    wk11: np.ndarray
+    #: -(inv_jac * inv_spheremp) (weak-Laplacian output scaling)
+    wk_out: np.ndarray
+    #: covariant metric planes g_ij
+    met00: np.ndarray
+    met01: np.ndarray
+    met11: np.ndarray
+    #: sqrt(g), 1/sqrt(g) and inv_metdet * inv_jac
+    metdet: np.ndarray
+    inv_metdet: np.ndarray
+    imdj: np.ndarray
+    #: Kronecker-lifted GLL derivative operators, (np^2, np^2).  A GLL
+    #: derivative is a tiny (np, np) matmul batched over thousands of
+    #: planes, which numpy executes as a slow per-plane loop; lifting
+    #: the operator to the flattened (i, j) point index turns each
+    #: derivative into ONE 2D BLAS GEMM over all elements and levels
+    #: (``X.reshape(-1, np^2) @ k__``), ~4x faster at bench shapes.
+    #: kda: d/dalpha (X @ Dt); kdb: d/dbeta (D @ X);
+    #: kwa: weak-form alpha (X @ D); kwb: weak-form beta (Dt @ X).
+    kda: np.ndarray
+    kdb: np.ndarray
+    kwa: np.ndarray
+    kwb: np.ndarray
+    #: expanded-plane cache keyed by (array id, target shape)
+    _bcache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def da(self, X: np.ndarray) -> np.ndarray:
+        """d/dalpha (``X @ Dt``) of (..., np, np) via one 2D GEMM."""
+        nn = self.kda.shape[0]
+        return np.matmul(X.reshape(-1, nn), self.kda).reshape(X.shape)
+
+    def db(self, X: np.ndarray) -> np.ndarray:
+        """d/dbeta (``D @ X``) of (..., np, np) via one 2D GEMM."""
+        nn = self.kdb.shape[0]
+        return np.matmul(X.reshape(-1, nn), self.kdb).reshape(X.shape)
+
+    def wa(self, X: np.ndarray) -> np.ndarray:
+        """Weak-form alpha transpose (``X @ D``) via one 2D GEMM."""
+        nn = self.kwa.shape[0]
+        return np.matmul(X.reshape(-1, nn), self.kwa).reshape(X.shape)
+
+    def wb(self, X: np.ndarray) -> np.ndarray:
+        """Weak-form beta transpose (``Dt @ X``) via one 2D GEMM."""
+        nn = self.kwb.shape[0]
+        return np.matmul(X.reshape(-1, nn), self.kwb).reshape(X.shape)
+
+    def bshape(self, geom_arr: np.ndarray, scalar_ref: np.ndarray) -> np.ndarray:
+        """Expand a (E, np, np) plane to ``scalar_ref``'s shape; memoized.
+
+        Unlike the batched path's singleton-axis broadcast views, the
+        fused kernels contract against **materialized contiguous**
+        planes: a strided ``(E, 1, np, np)`` operand forces every
+        elementwise op onto numpy's slow per-stride inner loop (~7x the
+        contiguous cost at the bench shapes), which would eat the whole
+        fusion win.  The expansion is cached per (plane, target shape)
+        — a handful of level-replicated copies per mesh.  Callers must
+        treat the result as read-only (it is shared across calls).
+        """
+        extra = scalar_ref.ndim - 3
+        if extra <= 0:
+            return geom_arr
+        target = (geom_arr.shape[0],) + scalar_ref.shape[1:-2] + geom_arr.shape[1:]
+        key = (id(geom_arr), target)
+        entry = self._bcache.get(key)
+        if entry is None:
+            shape = (geom_arr.shape[0],) + (1,) * extra + geom_arr.shape[1:]
+            out = np.ascontiguousarray(
+                np.broadcast_to(geom_arr.reshape(shape), target), dtype=self.dtype
+            )
+            # Pin the source array: the key is its id(), which could
+            # otherwise be recycled after garbage collection.  Only
+            # mesh-constant planes may be passed here (the expansion is
+            # cached forever and shared across calls).
+            entry = (geom_arr, out)
+            self._bcache[key] = entry
+        return entry[1]
+
+
+def build_fused_operands(t: OperatorTensors, dtype=np.float64) -> FusedOperands:
+    """Fold the metric/quadrature factors into contraction operands.
+
+    Assembled in float64 regardless of the target dtype so the float32
+    mode carries one rounding (the final cast), not a chain of them.
+    """
+    dt = np.dtype(dtype)
+
+    def cast(a: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(a, dtype=dt)
+
+    ij = t.inv_jac
+    eye = np.eye(t.D.shape[0])
+    return FusedOperands(
+        dtype=dt,
+        D=cast(t.D),
+        Dt=cast(t.Dt),
+        inv_jac=float(ij),
+        mi00j=cast(t.metinv00 * ij),
+        mi01j=cast(t.metinv01 * ij),
+        mi11j=cast(t.metinv11 * ij),
+        wk00=cast(t.wk_fac * t.metinv00 * ij),
+        wk01=cast(t.wk_fac * t.metinv01 * ij),
+        wk11=cast(t.wk_fac * t.metinv11 * ij),
+        wk_out=cast(-(ij * t.inv_spheremp)),
+        met00=cast(t.met00),
+        met01=cast(t.met01),
+        met11=cast(t.met11),
+        metdet=cast(t.metdet),
+        inv_metdet=cast(t.inv_metdet),
+        imdj=cast(t.inv_metdet * ij),
+        kda=cast(np.kron(eye, t.Dt)),
+        kdb=cast(np.kron(t.Dt, eye)),
+        kwa=cast(np.kron(eye, t.D)),
+        kwb=cast(np.kron(t.D, eye)),
     )

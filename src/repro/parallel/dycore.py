@@ -47,6 +47,29 @@ def fresh_context_key(prefix: str) -> str:
     return f"{prefix}:{next(_ctx_counter)}"
 
 
+def _path_kernels(meta):
+    """Resolve the execution path named in a task meta.
+
+    Tasks default to the batched kernels when no ``"path"`` key is
+    present, so pre-existing payloads (and the bitwise parallel==serial
+    guarantee for the default path) are unchanged.
+    """
+    from ..backends.functional_exec import homme_execution
+
+    return homme_execution(meta.get("path", "batched"))
+
+
+def _advect_fn(meta):
+    """Single-tracer advection kernel for the path named in a task meta."""
+    if meta.get("path") == "fused":
+        from ..homme.fused import advect_qdp_fused
+
+        return advect_qdp_fused
+    from ..homme.euler import advect_qdp
+
+    return advect_qdp
+
+
 # ---------------------------------------------------------------------------
 # Per-rank tasks for the distributed models
 # ---------------------------------------------------------------------------
@@ -58,10 +81,8 @@ def sw_stage_task(meta, base_h, base_v, point_h, point_v):
     Returns ``(base + dt * tendency)`` for h and v, evaluated with the
     rank's geometry from the registered context.
     """
-    from ..homme.shallow_water import sw_compute_rhs
-
     geom = get_context(meta["ctx"])[meta["rank"]]
-    dh, dv = sw_compute_rhs(point_h, point_v, geom)
+    dh, dv = _path_kernels(meta).sw_rhs(point_h, point_v, geom)
     dt = meta["dt"]
     return base_h + dt * dh, base_v + dt * dv
 
@@ -69,27 +90,25 @@ def sw_stage_task(meta, base_h, base_v, point_h, point_v):
 def prim_stage_task(meta, base_v, base_T, base_dp, point_v, point_T, point_dp):
     """One rank's primitive-equation RK-stage update (pre-DSS)."""
     from ..homme.element import ElementState
-    from ..homme.rhs import compute_rhs
 
     geom = get_context(meta["ctx"])[meta["rank"]]
     E, L, n = point_T.shape[0], point_T.shape[1], point_T.shape[2]
     point = ElementState(
         v=point_v, T=point_T, dp3d=point_dp, qdp=np.zeros((E, 1, L, n, n))
     )
-    dv, dT, ddp = compute_rhs(point, geom)
+    dv, dT, ddp = _path_kernels(meta).compute_rhs(point, geom)
     dt = meta["dt"]
     return base_v + dt * dv, base_T + dt * dT, base_dp + dt * ddp
 
 
 def prim_laplace_task(meta, T, v, dp):
     """One rank's hyperviscosity laplacians for all three fields."""
-    from ..homme import operators as op
-
     geom = get_context(meta["ctx"])[meta["rank"]]
+    ex = _path_kernels(meta)
     return (
-        op.laplace_sphere_wk(T, geom),
-        op.vlaplace_sphere(v, geom),
-        op.laplace_sphere_wk(dp, geom),
+        ex.laplace_wk(T, geom),
+        ex.vlaplace(v, geom),
+        ex.laplace_wk(dp, geom),
     )
 
 
@@ -102,34 +121,28 @@ def prim_laplace_wk_task(meta, f):
     field *f+1* (values are unchanged — each field's laplacian is
     computed by the same operator on the same inputs).
     """
-    from ..homme import operators as op
-
     geom = get_context(meta["ctx"])[meta["rank"]]
-    return (op.laplace_sphere_wk(f, geom),)
+    return (_path_kernels(meta).laplace_wk(f, geom),)
 
 
 def prim_vlaplace_task(meta, v):
     """One rank's vector laplacian of a single field (pipelined twin)."""
-    from ..homme import operators as op
-
     geom = get_context(meta["ctx"])[meta["rank"]]
-    return (op.vlaplace_sphere(v, geom),)
+    return (_path_kernels(meta).vlaplace(v, geom),)
 
 
 def prim_euler_stage1_task(meta, qdp_q, v):
     """Tracer SSP-RK2 stage 1 (pre-DSS): qdp + sdt * advect(qdp)."""
-    from ..homme.euler import advect_qdp
-
     geom = get_context(meta["ctx"])[meta["rank"]]
-    return (qdp_q + meta["sdt"] * advect_qdp(qdp_q, v, geom),)
+    advect = _advect_fn(meta)
+    return (qdp_q + meta["sdt"] * advect(qdp_q, v, geom),)
 
 
 def prim_euler_stage2_task(meta, qdp_q, st1, v):
     """Tracer SSP-RK2 stage 2 (pre-DSS): 0.5 (qdp + st1 + sdt advect(st1))."""
-    from ..homme.euler import advect_qdp
-
     geom = get_context(meta["ctx"])[meta["rank"]]
-    return (0.5 * (qdp_q + st1 + meta["sdt"] * advect_qdp(st1, v, geom)),)
+    advect = _advect_fn(meta)
+    return (0.5 * (qdp_q + st1 + meta["sdt"] * advect(st1, v, geom)),)
 
 
 def prim_limit_task(meta, st2):
@@ -155,34 +168,27 @@ def prim_limit_task(meta, st2):
 
 
 def chunk_sw_rhs_task(meta, h, v):
-    from ..homme.shallow_water import sw_compute_rhs
-
     geom = get_context(meta["ctx"])[meta["chunk"]]
-    return sw_compute_rhs(h, v, geom)
+    return _path_kernels(meta).sw_rhs(h, v, geom)
 
 
 def chunk_prim_rhs_task(meta, v, T, dp3d):
     from ..homme.element import ElementState
-    from ..homme.rhs import compute_rhs
 
     geom = get_context(meta["ctx"])[meta["chunk"]]
     E, L, n = T.shape[0], T.shape[1], T.shape[2]
     state = ElementState(v=v, T=T, dp3d=dp3d, qdp=np.zeros((E, 1, L, n, n)))
-    return compute_rhs(state, geom)
+    return _path_kernels(meta).compute_rhs(state, geom)
 
 
 def chunk_laplace_wk_task(meta, f):
-    from ..homme import operators as op
-
     geom = get_context(meta["ctx"])[meta["chunk"]]
-    return (op.laplace_sphere_wk(f, geom),)
+    return (_path_kernels(meta).laplace_wk(f, geom),)
 
 
 def chunk_vlaplace_task(meta, v):
-    from ..homme import operators as op
-
     geom = get_context(meta["ctx"])[meta["chunk"]]
-    return (op.vlaplace_sphere(v, geom),)
+    return (_path_kernels(meta).vlaplace(v, geom),)
 
 
 class ParallelHommeKernels:
@@ -206,9 +212,13 @@ class ParallelHommeKernels:
         tracer=None,
         engine: ParallelEngine | None = None,
         engine_kwargs: dict | None = None,
+        exec_path: str = "batched",
     ) -> None:
+        from ..backends.functional_exec import homme_execution
         from ..homme.element import ElementGeometry
 
+        homme_execution(exec_path)  # fail fast on unknown paths
+        self.exec_path = exec_path
         self.geom = geom
         nchunks = max(1, int(workers)) if engine is None else max(1, engine.workers)
         nchunks = min(nchunks, geom.nelem)
@@ -233,7 +243,7 @@ class ParallelHommeKernels:
 
     def _fanout(self, task, arrays_of: list[np.ndarray]) -> list[tuple]:
         payloads = [
-            ({"ctx": self._ctx_key, "chunk": c},
+            ({"ctx": self._ctx_key, "chunk": c, "path": self.exec_path},
              tuple(a[lo:hi] for a in arrays_of))
             for c, (lo, hi) in enumerate(self.chunks)
         ]
@@ -274,24 +284,28 @@ class ParallelHommeKernels:
         self.close()
 
 
-def parallel_homme_execution(geom, workers: int = 0, validate: bool = False):
+def parallel_homme_execution(geom, workers: int = 0, validate: bool = False,
+                             exec_path: str = "batched"):
     """A :class:`~repro.backends.functional_exec.HommeExecution`-shaped
-    bundle running the batched kernels across real cores.
+    bundle running the selected kernels across real cores.
 
-    Returns ``(execution, kernels)``; close ``kernels`` when done.  The
-    tracer path stays batched (``euler_path="batched"``) — tracer
-    parallelism belongs to the distributed models' per-rank engine.
+    Returns ``(execution, kernels)``; close ``kernels`` when done.
+    ``exec_path`` selects the element-local kernels each chunk runs
+    (``"batched"`` default, or ``"fused"``/``"looped"``).  The tracer
+    path follows ``exec_path`` — per-chunk tracer parallelism belongs
+    to the distributed models' per-rank engine.
     """
     from ..backends.functional_exec import HommeExecution
 
-    kernels = ParallelHommeKernels(geom, workers=workers, validate=validate)
+    kernels = ParallelHommeKernels(geom, workers=workers, validate=validate,
+                                   exec_path=exec_path)
     ex = HommeExecution(
         name=f"parallel[{kernels.engine.workers if kernels.engine.active else 1}]",
         compute_rhs=lambda state, g, phis=None: kernels.compute_rhs(state, g, phis),
         sw_rhs=lambda h, v, g: kernels.sw_rhs(h, v, g),
         laplace_wk=lambda f, g: kernels.laplace_wk(f, g),
         vlaplace=lambda v, g: kernels.vlaplace(v, g),
-        euler_path="batched",
+        euler_path=exec_path,
     )
     return ex, kernels
 

@@ -74,6 +74,16 @@ class TestSuite:
         assert report["derived"]["sw_rk_step.ne8.speedup"] >= 3.0
         assert report["derived"]["prim_rhs.ne4.speedup"] >= 2.0
 
+    def test_fused_entries_measured_and_gated(self, report):
+        # The fused execution path is timed for all three wall groups,
+        # wall-gated like batched (only looped is interpreter-noise
+        # exempt), and produces its derived speedups.
+        names = {b["name"]: b for b in report["benchmarks"]}
+        for group in ("sw_rk_step.ne8", "prim_rhs.ne4", "euler_step.ne4"):
+            assert names[f"{group}.fused"]["meta"]["gated"]
+            assert not names[f"{group}.looped"]["meta"]["gated"]
+            assert f"{group}.fused_speedup" in report["derived"]
+
     def test_simulated_entries_deterministic(self, report):
         again = run_suite(quick=True, repeats=1)
         sim = {b["name"]: b["seconds"] for b in report["benchmarks"]
@@ -86,6 +96,20 @@ class TestSuite:
         text = render_report(report)
         assert "sw_rk_step.ne8.batched" in text
         assert "speedup" in text
+
+    def test_render_report_zero_and_fractional_floors(self):
+        # Regression test for the floor-truthiness bug: a 0.0 floor (or
+        # any fractional overhead floor) must still render its bound
+        # instead of silently dropping it.
+        rep = {
+            "schema": "repro.bench/1", "repeats": 1, "calibration_s": 1e-3,
+            "benchmarks": [],
+            "derived": {"a.speedup": 1.2, "b.speedup": 0.8},
+            "floors": {"a.speedup": 0.0, "b.speedup": 1.0 / 1.5},
+        }
+        text = render_report(rep)
+        assert "floor 0.00x" in text
+        assert "floor 0.67x" in text
 
 
 class TestParallelSection:
@@ -212,7 +236,8 @@ class TestCompare:
         ok, lines = compare_reports(cur, base)
         assert ok
         assert any(line.startswith("new  dist_new.kernel") for line in lines)
-        assert any("ok   dist_new.kernel.speedup" in line for line in lines)
+        assert any("ok   dist_new.kernel.speedup" in line
+                   and "(new, no baseline entry)" in line for line in lines)
         assert any(
             line.startswith("gone retired.kernel.speedup") for line in lines
         )

@@ -54,8 +54,8 @@ def rel_err(a, b):
 
 
 class TestDispatch:
-    def test_registry_has_both_paths(self):
-        assert set(EXECUTION_PATHS) == {"batched", "looped"}
+    def test_registry_has_all_paths(self):
+        assert set(EXECUTION_PATHS) == {"batched", "looped", "fused"}
         for ex in EXECUTION_PATHS.values():
             assert callable(ex.compute_rhs) and callable(ex.sw_rhs)
 
@@ -199,3 +199,140 @@ class TestTensorCache:
         np.testing.assert_array_equal(t.met01, geom.met[..., 0, 1])
         np.testing.assert_array_equal(t.metinv11, geom.metinv[..., 1, 1])
         np.testing.assert_allclose(t.inv_spheremp * geom.spheremp, 1.0)
+
+    def test_fused_operands_memoized_per_dtype(self, mesh4):
+        geom = ElementGeometry(mesh4)
+        t = geom.tensors
+        f64 = t.fused(np.float64)
+        f32 = t.fused(np.float32)
+        assert t.fused(np.float64) is f64
+        assert t.fused(np.float32) is f32
+        assert f64 is not f32
+        assert f64.D.dtype == np.float64 and f32.D.dtype == np.float32
+        # Unsupported dtypes fall back to the float64 bundle.
+        assert t.fused(np.int64) is f64
+
+    def test_fused_operands_fold_correctly(self, mesh4):
+        geom = ElementGeometry(mesh4)
+        t = geom.tensors
+        f = t.fused()
+        np.testing.assert_allclose(f.mi01j, t.metinv01 * t.inv_jac)
+        np.testing.assert_allclose(f.wk11, t.wk_fac * t.metinv11 * t.inv_jac)
+        np.testing.assert_allclose(f.wk_out, -(t.inv_jac * t.inv_spheremp))
+        np.testing.assert_allclose(f.imdj, t.inv_metdet * t.inv_jac)
+
+    def test_fused_operands_invalidate_with_geometry(self, mesh4):
+        from repro.homme.fused import laplace_sphere_wk_fused
+
+        geom = ElementGeometry(mesh4)
+        field = np.sin(geom.lat)
+        before = laplace_sphere_wk_fused(field, geom)
+        geom.spheremp *= 2.0
+        after = laplace_sphere_wk_fused(field, geom)
+        np.testing.assert_allclose(after, 0.5 * before, rtol=1e-12)
+        geom.spheremp /= 2.0
+
+
+class TestFusedPath:
+    """The fused contraction path: 1e-12 against batched everywhere, and
+    the float32 compute mode within single-precision tolerance of
+    float64 (ISSUE 9 acceptance criteria)."""
+
+    def test_fused_kernels_match_batched(self, prim_setup):
+        _, geom, state = prim_setup
+        errs = cross_validate_paths(state, geom, rtol=RTOL, paths=("fused",))
+        assert max(errs.values()) <= RTOL
+
+    def test_fused_kernels_with_topography(self, prim_setup):
+        _, geom, state = prim_setup
+        rng = np.random.default_rng(7)
+        phis = 100.0 * rng.random((geom.nelem, geom.np, geom.np))
+        errs = cross_validate_paths(
+            state, geom, phis=phis, rtol=RTOL, paths=("fused",)
+        )
+        assert max(errs.values()) <= RTOL
+
+    @pytest.mark.parametrize("init", [williamson2_initial, rossby_haurwitz_initial])
+    def test_fused_sw_rhs(self, mesh4, init):
+        geom = ElementGeometry(mesh4)
+        s = init(mesh4)
+        b = homme_execution("batched")
+        fz = homme_execution("fused")
+        dh_b, dv_b = b.sw_rhs(s.h, s.v, geom)
+        dh_f, dv_f = fz.sw_rhs(s.h, s.v, geom)
+        assert rel_err(dh_b, dh_f) <= RTOL
+        assert rel_err(dv_b, dv_f) <= RTOL
+
+    @pytest.mark.parametrize("limiter", [True, False])
+    def test_fused_euler_step(self, prim_setup, limiter):
+        _, geom, state = prim_setup
+        out_b = euler_step(state, geom, 60.0, limiter=limiter, path="batched")
+        out_f = euler_step(state, geom, 60.0, limiter=limiter, path="fused")
+        assert rel_err(out_b, out_f) <= RTOL
+
+    @pytest.mark.parametrize("ne", [4, 8])
+    def test_fused_sw_trajectories_agree(self, mesh4, ne):
+        mesh = mesh4 if ne == 4 else CubedSphereMesh(8, 4)
+        steps = 3 if ne == 4 else 2
+        mb = ShallowWaterModel(mesh, exec_path="batched", nu=1e14)
+        mf = ShallowWaterModel(mesh, exec_path="fused", nu=1e14)
+        for _ in range(steps):
+            mb.step()
+            mf.step()
+        assert rel_err(mb.state.h, mf.state.h) <= RTOL
+        assert rel_err(mb.state.v, mf.state.v) <= RTOL
+
+    def test_fused_prim_trajectories_agree(self, mesh4, prim_setup):
+        cfg, _, state = prim_setup
+        mb = PrimitiveEquationModel(
+            cfg, mesh=mesh4, init=state.copy(), dt=300.0, exec_path="batched"
+        )
+        mf = PrimitiveEquationModel(
+            cfg, mesh=mesh4, init=state.copy(), dt=300.0, exec_path="fused"
+        )
+        mb.run_steps(2)
+        mf.run_steps(2)
+        assert rel_err(mb.state.T, mf.state.T) <= RTOL
+        assert rel_err(mb.state.v, mf.state.v) <= RTOL
+        assert rel_err(mb.state.dp3d, mf.state.dp3d) <= RTOL
+        assert rel_err(mb.state.qdp, mf.state.qdp) <= RTOL
+
+
+class TestFloat32Mode:
+    """The opt-in float32 compute mode of the fused path: results carry
+    the requested dtype and stay within single-precision tolerance of
+    the float64 fused results (policy in DESIGN.md §14)."""
+
+    def test_cross_validate_fused(self, prim_setup):
+        from repro.homme.fused import cross_validate_fused
+
+        _, geom, state = prim_setup
+        errs = cross_validate_fused(state, geom, rtol64=RTOL, rtol32=1e-4)
+        f64_worst = max(v for k, v in errs.items() if k.startswith("f64"))
+        f32_worst = max(v for k, v in errs.items() if k.startswith("f32"))
+        assert f64_worst <= RTOL
+        assert f32_worst <= 1e-4
+
+    def test_float32_outputs_carry_dtype(self, prim_setup):
+        from repro.homme.fused import (
+            compute_rhs_fused,
+            laplace_sphere_wk_fused,
+            sw_compute_rhs_fused,
+            vlaplace_sphere_fused,
+        )
+
+        _, geom, state = prim_setup
+        dv, dT, ddp = compute_rhs_fused(state, geom, dtype=np.float32)
+        assert dv.dtype == dT.dtype == ddp.dtype == np.float32
+        assert laplace_sphere_wk_fused(state.T, geom, dtype=np.float32).dtype == np.float32
+        assert vlaplace_sphere_fused(state.v, geom, dtype=np.float32).dtype == np.float32
+        dh, dvv = sw_compute_rhs_fused(state.T[:, 0], state.v[:, 0], geom, dtype=np.float32)
+        assert dh.dtype == np.float32 and dvv.dtype == np.float32
+
+    def test_float32_default_from_input_dtype(self, mesh4):
+        from repro.homme.fused import laplace_sphere_wk_fused
+
+        geom = ElementGeometry(mesh4)
+        field = np.sin(geom.lat).astype(np.float32)
+        out = laplace_sphere_wk_fused(field, geom)
+        assert out.dtype == np.float32

@@ -331,6 +331,20 @@ class TestHypervis:
         many = hypervis_stable_subcycles(300.0, 1e16, 30, C.EARTH_RADIUS)
         assert many >= few
 
+    def test_explicit_zero_subcycles_rejected(self, domain):
+        # Regression test for the `subcycles or stable_count` truthiness
+        # bug: an explicit subcycles=0 silently fell through to the
+        # auto-stability count instead of being rejected.
+        cfg, mesh, geom = domain
+        state = make_state(cfg, geom)
+        with pytest.raises(KernelError, match="subcycles must be >= 1"):
+            advance_hypervis(state, geom, dt=600.0, ne=cfg.ne, subcycles=0)
+        with pytest.raises(KernelError, match="subcycles must be >= 1"):
+            advance_hypervis(state, geom, dt=600.0, ne=cfg.ne, subcycles=-2)
+        # Explicit positive counts and the auto mode still work.
+        out = advance_hypervis(state, geom, dt=600.0, ne=cfg.ne, subcycles=1)
+        assert np.isfinite(out.T).all()
+
     def test_invalid_args(self, domain):
         cfg, mesh, geom = domain
         state = make_state(cfg, geom)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import constants as C
 from repro.homme import operators as op
@@ -147,3 +149,75 @@ class TestConvergence:
             exact = (dfdphi**2 + (dfdlam / np.cos(mesh.lat)) ** 2) / R**2
             errs.append(np.abs(mag2 - exact).max() * R**2)
         assert errs[1] < errs[0] / 4
+
+
+class TestDtypePreservation:
+    """Property tests: every operator returns its input's dtype.
+
+    The hot-path bugfix behind these: ``gradient_sphere`` allocated its
+    output with ``np.empty(shape + (2,))`` — always float64 — so a
+    float32 field silently upcast mid-chain, and several operators
+    returned float64 because a matmul against the float64 derivative
+    matrix promotes under NEP 50.  Hypothesis drives dtype, level shape
+    and field values through the full operator surface.
+    """
+
+    SCALAR_OPS = [
+        op.d_dalpha, op.d_dbeta, op.gradient_sphere, op.gradient_cov,
+        op.laplace_sphere, op.laplace_sphere_wk,
+    ]
+    VECTOR_OPS = [
+        op.divergence_sphere, op.vorticity_sphere, op.kinetic_energy,
+        op.k_cross, op.vlaplace_sphere,
+    ]
+
+    @staticmethod
+    def _geom():
+        # Memoized: hypothesis re-invokes the test body many times.
+        if not hasattr(TestDtypePreservation, "_cached_geom"):
+            mesh = CubedSphereMesh(ne=2)
+            TestDtypePreservation._cached_geom = ElementGeometry(mesh)
+        return TestDtypePreservation._cached_geom
+
+    @given(
+        dtype=st.sampled_from([np.float32, np.float64]),
+        extra=st.sampled_from([(), (1,), (3,), (2, 2)]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_operators_preserve_dtype(self, dtype, extra, seed):
+        geom = self._geom()
+        rng = np.random.default_rng(seed)
+        shape = (geom.nelem,) + extra + (4, 4)
+        s = rng.standard_normal(shape).astype(dtype)
+        for fn in self.SCALAR_OPS:
+            out = fn(s, geom)
+            assert out.dtype == np.dtype(dtype), fn.__name__
+
+    @given(
+        dtype=st.sampled_from([np.float32, np.float64]),
+        extra=st.sampled_from([(), (1,), (3,)]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_vector_operators_preserve_dtype(self, dtype, extra, seed):
+        geom = self._geom()
+        rng = np.random.default_rng(seed)
+        shape = (geom.nelem,) + extra + (4, 4, 2)
+        v = rng.standard_normal(shape).astype(dtype)
+        for fn in self.VECTOR_OPS:
+            out = fn(v, geom)
+            assert out.dtype == np.dtype(dtype), fn.__name__
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_sphere_f32_matches_f64(self, seed):
+        # Beyond carrying the dtype, the float32 result must be the
+        # float64 computation to single precision.
+        geom = self._geom()
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal((geom.nelem, 4, 4))
+        g64 = op.gradient_sphere(s, geom)
+        g32 = op.gradient_sphere(s.astype(np.float32), geom)
+        scale = np.abs(g64).max() + 1e-30
+        assert np.abs(g32 - g64).max() / scale < 1e-5
