@@ -13,9 +13,28 @@ primitive-equation integration under the observability tracer and
 exports it as a Chrome trace-event file: per-rank euler/hypervis/remap
 phases, halo pack/send/overlap/unpack, and MPI waits, loadable at
 https://ui.perfetto.dev.
+
+``--measured`` switches from the calibrated performance model to
+*measured shard runs*: the distributed primitive-equation model is
+actually stepped at every rank count in ``--nranks-list``, and the
+Table-4-style strong-scaling rows (simulated step time, SYPD, speedup,
+parallel efficiency) come from its SimMPI clocks — once per combine
+algorithm, so the hop-weighted hierarchical combine tree is directly
+comparable against the flat recursive-doubling estimate.
+
+``--check-bitwise W`` additionally re-runs each sweep point with the
+per-rank compute fanned across ``W`` real worker processes (sharded
+contexts, shard-affinity dispatch) and asserts the gathered trajectory
+is bitwise identical to the in-process serial run, printing each
+worker's context footprint.  Exits non-zero on any mismatch.
+
+CI runs:  python examples/scaling_study.py --measured --ne 4 \\
+              --nranks-list 2,4 --check-bitwise 2
 """
 
 import argparse
+import json
+import sys
 
 from repro.experiments.figure6_sypd import run_figure6
 from repro.experiments.figure7_strong import run_figure7
@@ -43,11 +62,132 @@ def traced_run(path: str) -> None:
           f"({len(tracer.recorder)} events); open in https://ui.perfetto.dev")
 
 
+def _build_model(ns, nranks: int, combine: str, workers: int = 0):
+    from repro.config import ModelConfig
+    from repro.homme.distributed import DistributedPrimitiveEquations
+    from repro.homme.element import ElementGeometry, ElementState
+    from repro.mesh import CubedSphereMesh
+
+    cfg = ModelConfig(ne=ns.ne, nlev=ns.nlev, qsize=ns.qsize)
+    mesh = CubedSphereMesh(ns.ne)
+    state = ElementState.isothermal_rest(ElementGeometry(mesh), cfg)
+    return DistributedPrimitiveEquations(
+        cfg, mesh, state, nranks=nranks, dt=ns.dt,
+        combine=combine, workers=workers,
+    )
+
+
+def _bitwise_check(ns, nranks: int, combine: str, serial_state) -> bool:
+    """Re-run the sweep point with a real worker pool; compare bitwise."""
+    import numpy as np
+
+    model = _build_model(ns, nranks, combine, workers=ns.check_bitwise)
+    try:
+        model.run_steps(ns.steps)
+        par_state = model.gather_state()
+        ok = all(
+            np.array_equal(getattr(serial_state, f), getattr(par_state, f))
+            for f in ("v", "T", "dp3d", "qdp")
+        )
+        per_slot = model.engine.context_bytes_by_slot()
+        peak = model.engine.peak_context_bytes()
+        total = model.engine.total_context_bytes()
+    finally:
+        model.close()
+    pool = "pool" if model.engine.active or per_slot else "serial-fallback"
+    slots = ", ".join(f"w{s}={b}" for s, b in sorted(per_slot.items()))
+    print(f"    bitwise vs {ns.check_bitwise}-worker sharded run "
+          f"[{pool}]: {'OK' if ok else 'MISMATCH'}"
+          f"  context bytes: peak={peak} total={total}"
+          + (f"  ({slots})" if slots else ""))
+    return ok
+
+
+def measured_sweep(ns) -> int:
+    """Strong-scaling sweep from measured shard runs (Table-4 style)."""
+    from repro.homme.distributed import charge_calibrated_compute
+
+    combines = (("flat", "hierarchical") if ns.combine == "both"
+                else (ns.combine,))
+    nranks_list = [int(x) for x in ns.nranks_list.split(",")]
+    rows = []
+    failures = 0
+    print("#" * 72)
+    print(f"# Measured strong scaling: prim ne={ns.ne} nlev={ns.nlev} "
+          f"qsize={ns.qsize}, {ns.steps} step(s), dt={ns.dt:g}s")
+    print("#" * 72)
+    header = (f"{'combine':<13} {'nranks':>6} {'t_step(ms)':>12} "
+              f"{'SYPD':>10} {'speedup':>9} {'eff':>7} {'hier.ar':>8}")
+    print(header)
+    print("-" * len(header))
+    base: dict[str, float] = {}
+    for combine in combines:
+        for nranks in nranks_list:
+            model = _build_model(ns, nranks, combine)
+            try:
+                model.run_steps(ns.steps)
+                charge_calibrated_compute(model, ns.steps)
+                t_machine = model.max_rank_time()
+                serial_state = model.gather_state()
+                hier = model.mpi.hierarchical_allreduces
+            finally:
+                model.close()
+            t_step = t_machine / ns.steps
+            # Simulated years per (simulated-machine) day: the model
+            # advances steps*dt seconds of atmosphere per t_machine
+            # seconds of machine time.
+            sypd = ns.steps * ns.dt / (365.0 * t_machine)
+            if combine not in base:
+                base[combine] = t_step
+            speedup = base[combine] / t_step
+            eff = speedup * nranks_list[0] / nranks
+            rows.append({
+                "combine": combine, "nranks": nranks,
+                "t_step_s": t_step, "sypd": sypd,
+                "speedup": speedup, "efficiency": eff,
+                "hierarchical_allreduces": hier,
+            })
+            print(f"{combine:<13} {nranks:>6} {t_step * 1e3:>12.4f} "
+                  f"{sypd:>10.1f} {speedup:>9.2f} {eff:>7.2f} {hier:>8}")
+            if ns.check_bitwise:
+                if not _bitwise_check(ns, nranks, combine, serial_state):
+                    failures += 1
+    if ns.out:
+        with open(ns.out, "w", encoding="utf-8") as fh:
+            json.dump({"ne": ns.ne, "nlev": ns.nlev, "qsize": ns.qsize,
+                       "steps": ns.steps, "dt": ns.dt, "rows": rows}, fh,
+                      indent=2)
+        print(f"\n[out] {len(rows)} rows -> {ns.out}")
+    if failures:
+        print(f"\nFAILED: {failures} sweep point(s) were not bitwise "
+              "identical between serial and sharded runs")
+    return 1 if failures else 0
+
+
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--trace", metavar="OUT.json", default=None,
                     help="also trace a small distributed run; write here")
+    ap.add_argument("--measured", action="store_true",
+                    help="strong-scaling sweep from measured shard runs "
+                         "instead of the calibrated figures")
+    ap.add_argument("--ne", type=int, default=4)
+    ap.add_argument("--nlev", type=int, default=8)
+    ap.add_argument("--qsize", type=int, default=4)
+    ap.add_argument("--steps", type=int, default=1)
+    ap.add_argument("--dt", type=float, default=300.0)
+    ap.add_argument("--nranks-list", default="1,2,4,8",
+                    help="comma-separated rank counts to sweep")
+    ap.add_argument("--combine", choices=("flat", "hierarchical", "both"),
+                    default="both")
+    ap.add_argument("--check-bitwise", type=int, metavar="W", default=0,
+                    help="re-run each point with W worker processes and "
+                         "assert the gathered trajectory matches bitwise")
+    ap.add_argument("--out", metavar="OUT.json", default=None,
+                    help="write the sweep rows as JSON")
     ns = ap.parse_args()
+    if ns.measured:
+        sys.exit(measured_sweep(ns))
     print("#" * 72)
     print("# Figure 6: whole-CAM simulation speed")
     print("#" * 72)

@@ -57,6 +57,13 @@ SPEEDUP_FLOORS = {
     # parallel step (tracing + in-worker packets + sampling profiler)
     # may cost at most 10% wall time over the telemetry-off run.
     "dist_sw_step.ne8.telemetry_speedup": 1.0 / 1.10,
+    # Sharded-ownership gate (DESIGN.md §15): with one shard context per
+    # rank group and shard-affinity dispatch, the sum of all shard
+    # contexts over the largest single worker's share must stay >= 2x —
+    # i.e. no worker holds more than half the geometry the old
+    # replicate-everything scheme shipped to every worker.  With 4 ranks
+    # on 4 workers the ideal ratio is 4.0.
+    "dist_sw_step.ne8.context_replication_ratio": 2.0,
 }
 
 #: Worker count for the parallel-vs-serial distributed section; the
@@ -162,6 +169,10 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             f"telemetry-overhead floor needs {PARALLEL_BENCH_WORKERS} "
             f"cores, machine has {cores}"
         )
+        skipped["dist_sw_step.ne8.context_replication_ratio"] = (
+            f"shard-memory floor needs a {PARALLEL_BENCH_WORKERS}-worker "
+            f"pool, machine has {cores} cores"
+        )
     else:
         dist_repeats = min(repeats, 5)  # a distributed step is ~100x a kernel
         for variant, nworkers, pipe, instrumented in (
@@ -198,6 +209,14 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
             if instrumented:
                 meta["telemetry_packets"] = model.engine.telemetry_packets
                 meta["profile_samples"] = model.engine.profile_samples
+            if variant == "parallel":
+                # Sharded-ownership accounting (DESIGN.md §15): the
+                # largest single worker's context footprint vs the sum
+                # of every shard — what the old replicate-everything
+                # scheme would have shipped to *each* worker.  Read
+                # before close(): close() unregisters the shard keys.
+                meta["context_bytes_peak"] = model.engine.peak_context_bytes()
+                meta["context_bytes_total"] = model.engine.total_context_bytes()
             results.append(BenchResult(
                 name=f"dist_sw_step.ne8.{variant}", clock="wall", seconds=secs,
                 repeats=dist_repeats, meta=meta,
@@ -248,6 +267,47 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
                 seconds=backend.execute(wl).seconds,
                 meta={"kernel": kernel, "backend": bname},
             ))
+
+    # -- simulated clock: prim nranks sweep (Table-4 SYPD curve) -----------
+    # The scaling-study entries: the full primitive-equation step
+    # distributed over a sweep of simulated rank counts, once with the
+    # flat recursive-doubling allreduce and once with the hierarchical
+    # node/supernode/central-switch combine tree.  The trajectory is
+    # bitwise identical across combine algorithms and rank counts; the
+    # simulated clocks (comm measured through SimMPI plus the calibrated
+    # per-element compute charge, so SYPD reflects a full step) are
+    # exactly deterministic, so these entries gate at the 1%
+    # simulated-drift tolerance like the table1 section.
+    from ..homme.distributed import (
+        DistributedPrimitiveEquations,
+        charge_calibrated_compute,
+    )
+
+    scaling_dt = 300.0
+    scaling_nranks = (4, 16) if quick else (4, 16, 64)
+    prim_state4, _ = _prim_state()
+    mesh4 = CubedSphereMesh(4, 4)
+    cfg4 = ModelConfig(ne=4, nlev=prim_state4.nlev, qsize=prim_state4.qsize)
+    for nranks in scaling_nranks:
+        for combine in ("flat", "hierarchical"):
+            model = DistributedPrimitiveEquations(
+                cfg4, mesh4, prim_state4, nranks=nranks, dt=scaling_dt,
+                combine=combine,
+            )
+            model.step()
+            charge_calibrated_compute(model, steps=1)
+            t_machine = model.max_rank_time()
+            sypd = scaling_dt / (365.0 * t_machine) if t_machine > 0 else 0.0
+            results.append(BenchResult(
+                name=f"scaling.prim_ne4.nranks{nranks}.{combine}",
+                clock="simulated", seconds=t_machine,
+                meta={"ne": 4, "nranks": nranks, "combine": combine,
+                      "dt": scaling_dt, "sypd": sypd,
+                      "hierarchical_allreduces":
+                          model.mpi.hierarchical_allreduces,
+                      "kernel": "distributed prim step"},
+            ))
+            model.close()
 
     # -- derived speedups --------------------------------------------------
     # Tolerant of missing members: a skipped or not-yet-measured section
@@ -305,6 +365,27 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
                 "worker pool fell back to serial; overhead floor "
                 "not applicable"
             )
+    # Shard-memory gate: total context bytes across all shard contexts
+    # over the busiest worker's share.  >= 2.0 means sharded ownership
+    # actually landed distinct shards on distinct workers (4.0 ideal at
+    # 4 ranks / 4 workers); 1.0 would mean one worker touched every
+    # shard, i.e. the replicated-geometry memory profile.
+    if par is not None and par.meta.get("pool_active"):
+        peak = par.meta.get("context_bytes_peak", 0)
+        total = par.meta.get("context_bytes_total", 0)
+        if peak > 0:
+            derived["dist_sw_step.ne8.context_replication_ratio"] = (
+                total / peak
+            )
+        else:
+            skipped["dist_sw_step.ne8.context_replication_ratio"] = (
+                "no per-slot context bytes recorded; ratio not applicable"
+            )
+    elif par is not None:
+        skipped["dist_sw_step.ne8.context_replication_ratio"] = (
+            "worker pool fell back to serial; shard-memory floor "
+            "not applicable"
+        )
     # Recovery gate: >= 1/1.5 means the injected kill cost <= 50% wall
     # time over the equivalent fault-free parallel run (the per-step
     # parallel time scaled to the recovery run's step count).  Only

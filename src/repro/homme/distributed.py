@@ -26,6 +26,7 @@ from ..network.simmpi import SimMPI, rank_track
 from ..obs.tracer import NULL_TRACER
 from ..parallel.dycore import (
     fresh_context_key,
+    shard_context_key,
     prim_euler_stage1_task,
     prim_euler_stage2_task,
     prim_laplace_task,
@@ -50,41 +51,56 @@ def _make_engine(model, workers: int, validate: bool, label: str,
                  pipeline: bool = False, engine_kwargs: dict | None = None):
     """Shared ``workers=``/``pipeline=`` plumbing for the distributed models.
 
-    Registers the per-rank geometries in the fork-inherited context
-    registry (warming the memoized tensor caches first, so workers
-    inherit them copy-on-write), then starts the pool — or hands back
-    the shared always-serial engine for ``workers <= 1``.
-    ``engine_kwargs`` passes straight through to
-    :class:`~repro.parallel.engine.ParallelEngine` — the supervision,
-    chaos, and integrity knobs of DESIGN.md §12.
+    Publishes **one context entry per rank shard** — rank ``r``'s
+    :class:`ElementGeometry` under ``shard_context_key(base, r)`` — in
+    the fork-inherited registry (warming the memoized tensor caches
+    first, so workers inherit them copy-on-write), then starts the pool
+    — or hands back the shared always-serial engine for ``workers <=
+    1``.  Combined with the engine's shard-affinity dispatch, a worker
+    only ever resolves (and therefore faults in) the shards pinned to
+    its slot, instead of the whole replicated geometry list the old
+    single-key layout handed every worker.  ``engine_kwargs`` passes
+    straight through to :class:`~repro.parallel.engine.ParallelEngine`
+    — the supervision, chaos, and integrity knobs of DESIGN.md §12.
 
     ``pipeline=True`` additionally registers the *split* per-rank
     geometries (slot ``2r`` = rank ``r``'s boundary elements, ``2r+1``
-    = its inner elements; ``None`` for an empty subset) that the
-    pipelined stage fanout dispatches as separate worker batches.
+    = its inner elements; ``None`` for an empty subset), each under its
+    own per-slot key so the pipelined fanout keeps the same one-shard-
+    per-worker ownership.
     """
     model.workers = max(0, int(workers))
     model.validate = bool(validate)
     model.pipeline = bool(pipeline)
+    warm_fused = getattr(model, "exec_path", "batched") == "fused"
     for g in model.geoms:
         g.tensors  # noqa: B018 - warm the cache before the pool forks
-    model._ctx_key = register_context(fresh_context_key(label), model.geoms)
-    model._pipe_ctx_key = None
+        if warm_fused:
+            g.tensors.fused()
+    base = fresh_context_key(label)
+    model._ctx_key = base
+    model._shard_keys = [
+        register_context(shard_context_key(base, r), g)
+        for r, g in enumerate(model.geoms)
+    ]
+    model._pipe_shard_keys = None
     if model.pipeline:
-        pipe_geoms: list[ElementGeometry | None] = []
+        pipe_base = fresh_context_key(label + "-pipe")
+        pipe_keys: list[str] = []
         for r in range(model.nranks):
             els = model.part.rank_elements(r)
-            for ix in (model.hx.local_boundary_idx[r],
-                       model.hx.local_inner_idx[r]):
-                if len(ix) == 0:
-                    pipe_geoms.append(None)
-                    continue
-                g = ElementGeometry(model.mesh, els[ix])
-                g.tensors  # noqa: B018 - warm before the fork
-                pipe_geoms.append(g)
-        model._pipe_ctx_key = register_context(
-            fresh_context_key(label + "-pipe"), pipe_geoms
-        )
+            for part_i, ix in enumerate((model.hx.local_boundary_idx[r],
+                                         model.hx.local_inner_idx[r])):
+                g = None
+                if len(ix) > 0:
+                    g = ElementGeometry(model.mesh, els[ix])
+                    g.tensors  # noqa: B018 - warm before the fork
+                    if warm_fused:
+                        g.tensors.fused()
+                pipe_keys.append(register_context(
+                    shard_context_key(pipe_base, 2 * r + part_i), g
+                ))
+        model._pipe_shard_keys = pipe_keys
     if model.workers > 1:
         model.engine = ParallelEngine(
             workers=model.workers, validate=model.validate,
@@ -92,6 +108,28 @@ def _make_engine(model, workers: int, validate: bool, label: str,
         )
     else:
         model.engine = SERIAL_ENGINE
+
+
+def charge_calibrated_compute(model, steps: int) -> None:
+    """Charge calibrated per-element kernel time to every rank's clock.
+
+    The distributed models' SimMPI clocks measure communication (halo
+    exchange, pack/unpack memcpy, allreduce combines); per-element
+    kernel compute is charged here from the calibrated
+    :class:`~repro.perf.scaling.HommePerfModel`, so scaling studies
+    built on ``max_rank_time()`` reflect a full step rather than comm
+    alone.  The charge is additive (call it after ``run_steps``),
+    exactly deterministic, and proportional to each rank's actual shard
+    size — SFC load imbalance shows up in the slowest clock.
+    """
+    from ..perf.scaling import HommePerfModel
+
+    perf = HommePerfModel(model.cfg.ne, model.nranks,
+                          nlev=model.cfg.nlev, qsize=model.cfg.qsize)
+    per_elem = perf.compute_seconds / perf.elems_per_proc
+    for r in range(model.nranks):
+        nelem = len(model.part.rank_elements(r))
+        model.mpi.compute(r, per_elem * nelem * steps)
 
 
 def _pipeline_active(model) -> bool:
@@ -124,8 +162,8 @@ def _pipelined_fanout(model, task, meta_extra: dict,
             ix = idx_of[r]
             if len(ix) == 0:
                 continue
-            meta = {"ctx": model._pipe_ctx_key, "rank": 2 * r + part_i,
-                    **meta_extra}
+            meta = {"ctx": model._pipe_shard_keys[2 * r + part_i],
+                    "rank": 2 * r + part_i, "shard": r, **meta_extra}
             payloads.append((meta, tuple(a[ix] for a in per_rank_arrays[r])))
             owners.append(r)
         pends.append((model.engine.submit(task, payloads), owners, idx_of))
@@ -269,8 +307,8 @@ class DistributedShallowWater:
             )
         else:
             outs = self.engine.run(sw_stage_task, [
-                ({"ctx": self._ctx_key, "rank": r, "dt": dt,
-                  "path": self.exec_path},
+                ({"ctx": self._shard_keys[r], "rank": r, "shard": r,
+                  "dt": dt, "path": self.exec_path},
                  (bases[r].h, bases[r].v, points[r].h, points[r].v))
                 for r in range(self.nranks)
             ])
@@ -305,12 +343,14 @@ class DistributedShallowWater:
             self.step()
 
     def close(self) -> None:
-        """Stop the worker pool (if any) and drop the context entry."""
+        """Stop the worker pool (if any) and drop every shard context."""
         if self.engine is not SERIAL_ENGINE:
             self.engine.close()
-        unregister_context(self._ctx_key)
-        if self._pipe_ctx_key is not None:
-            unregister_context(self._pipe_ctx_key)
+        for key in self._shard_keys:
+            unregister_context(key)
+        if self._pipe_shard_keys is not None:
+            for key in self._pipe_shard_keys:
+                unregister_context(key)
 
     def health(self, monitor=None):
         """Run the health rules over the engine (DESIGN.md §13.4)."""
@@ -401,6 +441,14 @@ class DistributedPrimitiveEquations:
     ``exec_path`` selects the element-local kernels the per-rank tasks
     run (``"batched"`` default, ``"fused"``, ``"looped"``); the
     exchange/allreduce structure is identical across paths.
+
+    ``combine`` selects how the tracer mass-fixer allreduces charge the
+    simulated clocks: ``"flat"`` (default, the recursive-doubling
+    estimate — all clocks synchronized) or ``"hierarchical"`` (the
+    node → supernode → central-switch combine tree with hop-weighted
+    per-level costs, mirroring TaihuLight's topology).  Reduced values
+    — and therefore the trajectory — are bitwise identical either way;
+    only the clock charging differs.
     """
 
     def __init__(
@@ -418,6 +466,7 @@ class DistributedPrimitiveEquations:
         pipeline: bool = False,
         engine_kwargs: dict | None = None,
         exec_path: str = "batched",
+        combine: str = "flat",
     ) -> None:
         from ..backends.functional_exec import homme_execution
         from ..homme.hypervis import nu_for_ne
@@ -432,9 +481,11 @@ class DistributedPrimitiveEquations:
         self.mode = mode
         self.dt = dt
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.combine = combine
         self.part = SFCPartition(mesh.ne, nranks)
         self.hx = HaloExchanger(mesh, self.part)
-        self.mpi = SimMPI(nranks, faults=faults, tracer=self.tracer)
+        self.mpi = SimMPI(nranks, faults=faults, tracer=self.tracer,
+                          allreduce_algorithm=combine)
         self.geoms = [
             ElementGeometry(mesh, self.part.rank_elements(r)) for r in range(nranks)
         ]
@@ -511,8 +562,8 @@ class DistributedPrimitiveEquations:
             )
         else:
             outs = self.engine.run(prim_stage_task, [
-                ({"ctx": self._ctx_key, "rank": r, "dt": dt,
-                  "path": self.exec_path},
+                ({"ctx": self._shard_keys[r], "rank": r, "shard": r,
+                  "dt": dt, "path": self.exec_path},
                  (bases[r].v, bases[r].T, bases[r].dp3d,
                   points[r].v, points[r].T, points[r].dp3d))
                 for r in range(self.nranks)
@@ -588,8 +639,8 @@ class DistributedPrimitiveEquations:
                 # Three exchanges per (subcycle, tracer): st1, st2, limited.
                 slot0 = 3 * (sub_i * self.cfg.qsize + q)
                 metas = [
-                    {"ctx": self._ctx_key, "rank": r, "sdt": sdt,
-                     "path": self.exec_path}
+                    {"ctx": self._shard_keys[r], "rank": r, "shard": r,
+                     "sdt": sdt, "path": self.exec_path}
                     for r in range(self.nranks)
                 ]
                 st1 = self._dss_levels([o[0] for o in self.engine.run(
@@ -633,7 +684,8 @@ class DistributedPrimitiveEquations:
         # each field's laplacian/DSS chain is independent.)
         hv_t0s = [self.mpi.now(r) for r in range(self.nranks)]
         hv_metas = [
-            {"ctx": self._ctx_key, "rank": r, "path": self.exec_path}
+            {"ctx": self._shard_keys[r], "rank": r, "shard": r,
+             "path": self.exec_path}
             for r in range(self.nranks)
         ]
         if _pipeline_active(self):
@@ -688,12 +740,14 @@ class DistributedPrimitiveEquations:
             self.step()
 
     def close(self) -> None:
-        """Stop the worker pool (if any) and drop the context entry."""
+        """Stop the worker pool (if any) and drop every shard context."""
         if self.engine is not SERIAL_ENGINE:
             self.engine.close()
-        unregister_context(self._ctx_key)
-        if self._pipe_ctx_key is not None:
-            unregister_context(self._pipe_ctx_key)
+        for key in self._shard_keys:
+            unregister_context(key)
+        if self._pipe_shard_keys is not None:
+            for key in self._pipe_shard_keys:
+                unregister_context(key)
 
     def health(self, monitor=None):
         """Run the health rules over the engine (DESIGN.md §13.4)."""

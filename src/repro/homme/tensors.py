@@ -132,6 +132,25 @@ class OperatorTensors:
             self._bcache[key] = view
         return view
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this bundle's unique arrays.
+
+        Counts the operator planes plus any fused bundles built from
+        them; the ``_bcache`` reshape views alias arrays already counted
+        and are excluded.  This is the per-shard footprint the sharded
+        ownership accounting sums per worker.
+        """
+        planes = (
+            self.D, self.Dt, self.metdet, self.inv_metdet,
+            self.met00, self.met01, self.met11,
+            self.metinv00, self.metinv01, self.metinv11,
+            self.spheremp, self.inv_spheremp, self.wk_fac,
+        )
+        return sum(int(p.nbytes) for p in planes) + sum(
+            f.nbytes for f in self._fused.values()
+        )
+
 
 def build_tensors(geom) -> OperatorTensors:
     """Derive the full tensor bundle from an element geometry."""
@@ -277,6 +296,29 @@ class FusedOperands:
             entry = (geom_arr, out)
             self._bcache[key] = entry
         return entry[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this bundle's unique arrays.
+
+        Counts every ndarray field plus the materialized expansion
+        cache (its ``out`` copies are real memory; the pinned sources
+        alias planes already counted and are skipped via ``id``).
+        """
+        import dataclasses
+
+        seen: set[int] = set()
+        total = 0
+        for f in dataclasses.fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, np.ndarray) and id(v) not in seen:
+                seen.add(id(v))
+                total += int(v.nbytes)
+        for _src, out in self._bcache.values():
+            if id(out) not in seen:
+                seen.add(id(out))
+                total += int(out.nbytes)
+        return total
 
 
 def build_fused_operands(t: OperatorTensors, dtype=np.float64) -> FusedOperands:

@@ -193,8 +193,19 @@ class SFCPartition:
     # -- aggregate statistics for the performance model -----------------------------
 
     def mean_boundary_fraction(self) -> float:
-        """Average fraction of a rank's elements on its boundary."""
-        return float(self.boundary_mask.mean())
+        """Average fraction of a rank's elements on its boundary.
+
+        Each rank contributes ``n_boundary / n_elements`` with equal
+        weight.  This differs from the element-weighted global fraction
+        ``boundary_mask.mean()`` whenever element counts are uneven:
+        small ranks (which are almost all boundary) must not be diluted
+        by large ones, since the per-rank fraction is what sets each
+        rank's halo-to-compute ratio in the scaling model.
+        """
+        fracs = [
+            h.n_boundary / h.n_elements for h in self._halos.values()
+        ]
+        return float(np.mean(fracs))
 
     def mean_neighbor_count(self) -> float:
         """Average number of neighbor ranks per rank."""

@@ -29,6 +29,7 @@ injector's seed.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -104,6 +105,12 @@ class SimMPI:
         :class:`~repro.obs.Tracer` gets per-rank send instants, receive
         wait spans, collective spans, and retransmission events — all
         stamped in simulated time, never perturbing the clocks.
+    allreduce_algorithm:
+        Default clock-charging model for :meth:`allreduce`: ``"flat"``
+        (recursive-doubling estimate, all clocks synchronized) or
+        ``"hierarchical"`` (node → supernode → central-switch combine
+        tree with hop-weighted per-level costs).  Reduced values are
+        bitwise identical either way.
     """
 
     def __init__(
@@ -115,9 +122,15 @@ class SimMPI:
         max_retries: int = 3,
         backoff: float = 2.0,
         tracer: "NullTracer | None" = None,
+        allreduce_algorithm: str = "flat",
     ) -> None:
         if nranks < 1:
             raise SimMPIError(f"nranks must be >= 1, got {nranks}")
+        if allreduce_algorithm not in ("flat", "hierarchical"):
+            raise SimMPIError(
+                f"unknown allreduce algorithm {allreduce_algorithm!r} "
+                "(expected 'flat' or 'hierarchical')"
+            )
         if cost is None:
             nodes = max(1, -(-nranks // 4))
             cost = NetworkCostModel(TaihuLightTopology(nodes=nodes))
@@ -135,6 +148,7 @@ class SimMPI:
         self.timeout = cost.suggested_timeout() if timeout is None else float(timeout)
         self.max_retries = max_retries
         self.backoff = backoff
+        self.allreduce_algorithm = allreduce_algorithm
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._clocks = [SimClock() for _ in range(nranks)]
         self._mailbox: dict[tuple[int, int, int], deque[_Message]] = {}
@@ -145,6 +159,7 @@ class SimMPI:
         self.messages_dropped = 0
         self.messages_delayed = 0
         self.retransmissions = 0
+        self.hierarchical_allreduces = 0
         self.comm_seconds = [0.0] * nranks  # time visibly spent waiting
         self._finalized = False
 
@@ -320,12 +335,29 @@ class SimMPI:
 
     # -- collectives ---------------------------------------------------------------
 
-    def allreduce(self, contributions: list[np.ndarray]) -> np.ndarray:
+    def allreduce(
+        self, contributions: list[np.ndarray], algorithm: str | None = None
+    ) -> np.ndarray:
         """Sum-allreduce over all ranks.
 
-        ``contributions[r]`` is rank r's array.  All clocks advance to the
-        same completion time: the slowest participant plus the modeled
-        collective time.
+        ``contributions[r]`` is rank r's array.  The reduced *values* are
+        identical under every algorithm — always ``np.sum`` over the
+        contributions in rank order, so trajectories stay bitwise
+        reproducible — only the *clock charging* differs:
+
+        - ``"flat"`` (default): every clock advances to the slowest
+          participant plus the recursive-doubling estimate from
+          :meth:`NetworkCostModel.allreduce_time`.
+        - ``"hierarchical"``: a topology-aware combine tree — node-local
+          reduce at memory speed, supernode reduce over the network
+          board, central-switch reduce across supernodes, then the
+          mirror-image broadcast — with each level's hop class charged
+          via :meth:`NetworkCostModel.p2p_time_by_hops`.  Ranks finish
+          at times that depend on their group sizes, so partial nodes
+          and supernodes are visible in the per-rank clocks.
+
+        ``algorithm`` overrides the communicator-level default for one
+        call.
         """
         if len(contributions) != self.nranks:
             raise SimMPIError(
@@ -337,18 +369,74 @@ class SimMPI:
         for a in arrays[1:]:
             if a.shape != shape:
                 raise SimMPIError("allreduce contributions must share a shape")
+        alg = self.allreduce_algorithm if algorithm is None else algorithm
+        if alg not in ("flat", "hierarchical"):
+            raise SimMPIError(
+                f"unknown allreduce algorithm {alg!r} "
+                "(expected 'flat' or 'hierarchical')"
+            )
         total = np.sum(arrays, axis=0)
-        start = max(c.now for c in self._clocks)
-        t = start + self.cost.allreduce_time(self.nranks, total.nbytes)
-        for r, c in enumerate(self._clocks):
+        if alg == "hierarchical" and self.nranks > 1:
+            self._charge_hierarchical_allreduce(total.nbytes)
+        else:
+            start = max(c.now for c in self._clocks)
+            t = start + self.cost.allreduce_time(self.nranks, total.nbytes)
+            for r, c in enumerate(self._clocks):
+                if self.tracer.enabled:
+                    self.tracer.span_at(
+                        rank_track(r), "mpi.allreduce", c.now, t, cat="mpi",
+                        nbytes=total.nbytes, algorithm="flat",
+                    )
+                self.comm_seconds[r] += max(0.0, t - c.now)
+                c.advance_to(t)
+        return total
+
+    def _charge_hierarchical_allreduce(self, nbytes: int) -> None:
+        """Advance the clocks along the three-level combine tree.
+
+        Reduce phase: each node's ranks log-tree into a node leader over
+        hop class 0; node leaders log-tree into a supernode leader over
+        hop class 1; supernode leaders log-tree through the central
+        switch over hop class 2.  The broadcast back retraces the same
+        tree, so a rank's completion time is the root time plus the
+        down-tree latency of *its own* (possibly partial) groups.
+        """
+        topo = self.cost.topology
+        node_ranks, sn_nodes = topo.reduction_groups(self.nranks)
+        c_hop = [self.cost.p2p_time_by_hops(h, nbytes) for h in (0, 1, 2)]
+
+        def tree(n: int, per_round: float) -> float:
+            return math.ceil(math.log2(n)) * per_round if n > 1 else 0.0
+
+        t_node = {
+            node: max(self._clocks[r].now for r in ranks) + tree(len(ranks), c_hop[0])
+            for node, ranks in node_ranks.items()
+        }
+        t_sn = {
+            sn: max(t_node[n] for n in nodes) + tree(len(nodes), c_hop[1])
+            for sn, nodes in sn_nodes.items()
+        }
+        t_root = max(t_sn.values()) + tree(len(t_sn), c_hop[2])
+        down_sn = tree(len(t_sn), c_hop[2])
+        self.hierarchical_allreduces += 1
+        for r in range(self.nranks):
+            node = topo.node_of_rank(r)
+            sn = topo.supernode_of_node(node)
+            t_done = (
+                t_root
+                + down_sn
+                + tree(len(sn_nodes[sn]), c_hop[1])
+                + tree(len(node_ranks[node]), c_hop[0])
+            )
+            c = self._clocks[r]
             if self.tracer.enabled:
                 self.tracer.span_at(
-                    rank_track(r), "mpi.allreduce", c.now, t, cat="mpi",
-                    nbytes=total.nbytes,
+                    rank_track(r), "mpi.allreduce", c.now, t_done, cat="mpi",
+                    nbytes=nbytes, algorithm="hierarchical",
+                    node=node, supernode=sn,
                 )
-            self.comm_seconds[r] += max(0.0, t - c.now)
-            c.advance_to(t)
-        return total
+            self.comm_seconds[r] += max(0.0, t_done - c.now)
+            c.advance_to(t_done)
 
     def barrier(self) -> float:
         """Synchronize all clocks; returns the post-barrier time."""

@@ -49,8 +49,32 @@ class TaihuLightTopology:
 
     @property
     def supernodes(self) -> int:
-        """Supernodes spanned by the allocation (ceiling)."""
+        """Supernodes spanned by the allocation (ceiling).
+
+        Allocations need not fill supernodes: when ``nodes`` is not a
+        multiple of ``nodes_per_supernode`` the last supernode is
+        partial.  Membership is still pure integer division, so
+        ``same_supernode``/``hops`` stay correct across the partial
+        boundary; :meth:`nodes_in_supernode` exposes the ragged size.
+        """
         return -(-self.nodes // self.nodes_per_supernode)
+
+    def nodes_in_supernode(self, supernode: int) -> int:
+        """Nodes hosted by ``supernode`` (the last one may be partial)."""
+        if not (0 <= supernode < self.supernodes):
+            raise TopologyError(
+                f"supernode {supernode} outside 0..{self.supernodes - 1}"
+            )
+        return min(
+            self.nodes_per_supernode,
+            self.nodes - supernode * self.nodes_per_supernode,
+        )
+
+    def supernode_of_node(self, node: int) -> int:
+        """The supernode hosting ``node``."""
+        if not (0 <= node < self.nodes):
+            raise TopologyError(f"node {node} outside 0..{self.nodes - 1}")
+        return node // self.nodes_per_supernode
 
     def node_of_rank(self, rank: int) -> int:
         """The node hosting ``rank`` (consecutive placement)."""
@@ -77,3 +101,27 @@ class TaihuLightTopology:
         if self.same_supernode(a, b):
             return 1
         return 2
+
+    def reduction_groups(
+        self, nranks: int
+    ) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+        """Combine-tree groups for ``nranks`` consecutively placed ranks.
+
+        Returns ``(node_ranks, supernode_nodes)``: the ranks hosted on
+        each occupied node and the occupied nodes in each occupied
+        supernode.  Groups respect partial supernodes — the last group
+        simply has fewer members — so a node-local / supernode /
+        central-switch hierarchical combine can be built directly from
+        them.
+        """
+        if not (1 <= nranks <= self.max_ranks):
+            raise TopologyError(
+                f"nranks {nranks} outside 1..{self.max_ranks}"
+            )
+        node_ranks: dict[int, list[int]] = {}
+        for rank in range(nranks):
+            node_ranks.setdefault(self.node_of_rank(rank), []).append(rank)
+        supernode_nodes: dict[int, list[int]] = {}
+        for node in node_ranks:
+            supernode_nodes.setdefault(self.supernode_of_node(node), []).append(node)
+        return node_ranks, supernode_nodes

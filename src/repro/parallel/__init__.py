@@ -33,10 +33,14 @@ The contract (DESIGN.md §10):
 
 from .engine import (  # noqa: F401
     ParallelEngine,
+    ParallelError,
     PendingRun,
     SERIAL_ENGINE,
     WorkerStats,
     available_cores,
+    context_nbytes,
+    register_context,
+    unregister_context,
     worker_track,
 )
 from .supervisor import (  # noqa: F401
@@ -57,10 +61,14 @@ from .dycore import (  # noqa: F401
 
 __all__ = [
     "ParallelEngine",
+    "ParallelError",
     "PendingRun",
     "SERIAL_ENGINE",
     "WorkerStats",
     "available_cores",
+    "context_nbytes",
+    "register_context",
+    "unregister_context",
     "worker_track",
     "ChaosSpec",
     "WorkerSupervisor",

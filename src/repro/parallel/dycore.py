@@ -47,6 +47,28 @@ def fresh_context_key(prefix: str) -> str:
     return f"{prefix}:{next(_ctx_counter)}"
 
 
+def shard_context_key(base: str, shard: int) -> str:
+    """The per-shard context key derived from a model's base key."""
+    return f"{base}/s{shard}"
+
+
+def _task_geom(meta, index_key: str = "rank"):
+    """Resolve the geometry a task should compute with.
+
+    Under sharded ownership (the default) ``meta["ctx"]`` names a
+    per-shard context entry holding exactly one
+    :class:`~repro.homme.element.ElementGeometry` — the only geometry
+    this worker's shard ever touches.  A list/tuple entry is the legacy
+    replicated layout (one global key holding every shard), still
+    resolved through ``meta[index_key]`` so external payloads keep
+    working.
+    """
+    obj = get_context(meta["ctx"])
+    if isinstance(obj, (list, tuple)):
+        return obj[meta[index_key]]
+    return obj
+
+
 def _path_kernels(meta):
     """Resolve the execution path named in a task meta.
 
@@ -81,7 +103,7 @@ def sw_stage_task(meta, base_h, base_v, point_h, point_v):
     Returns ``(base + dt * tendency)`` for h and v, evaluated with the
     rank's geometry from the registered context.
     """
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     dh, dv = _path_kernels(meta).sw_rhs(point_h, point_v, geom)
     dt = meta["dt"]
     return base_h + dt * dh, base_v + dt * dv
@@ -91,7 +113,7 @@ def prim_stage_task(meta, base_v, base_T, base_dp, point_v, point_T, point_dp):
     """One rank's primitive-equation RK-stage update (pre-DSS)."""
     from ..homme.element import ElementState
 
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     E, L, n = point_T.shape[0], point_T.shape[1], point_T.shape[2]
     point = ElementState(
         v=point_v, T=point_T, dp3d=point_dp, qdp=np.zeros((E, 1, L, n, n))
@@ -103,7 +125,7 @@ def prim_stage_task(meta, base_v, base_T, base_dp, point_v, point_T, point_dp):
 
 def prim_laplace_task(meta, T, v, dp):
     """One rank's hyperviscosity laplacians for all three fields."""
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     ex = _path_kernels(meta)
     return (
         ex.laplace_wk(T, geom),
@@ -121,26 +143,26 @@ def prim_laplace_wk_task(meta, f):
     field *f+1* (values are unchanged — each field's laplacian is
     computed by the same operator on the same inputs).
     """
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     return (_path_kernels(meta).laplace_wk(f, geom),)
 
 
 def prim_vlaplace_task(meta, v):
     """One rank's vector laplacian of a single field (pipelined twin)."""
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     return (_path_kernels(meta).vlaplace(v, geom),)
 
 
 def prim_euler_stage1_task(meta, qdp_q, v):
     """Tracer SSP-RK2 stage 1 (pre-DSS): qdp + sdt * advect(qdp)."""
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     advect = _advect_fn(meta)
     return (qdp_q + meta["sdt"] * advect(qdp_q, v, geom),)
 
 
 def prim_euler_stage2_task(meta, qdp_q, st1, v):
     """Tracer SSP-RK2 stage 2 (pre-DSS): 0.5 (qdp + st1 + sdt advect(st1))."""
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     advect = _advect_fn(meta)
     return (0.5 * (qdp_q + st1 + meta["sdt"] * advect(st1, v, geom)),)
 
@@ -154,7 +176,7 @@ def prim_limit_task(meta, st2):
     """
     from ..homme.euler import limit_qdp
 
-    geom = get_context(meta["ctx"])[meta["rank"]]
+    geom = _task_geom(meta)
     limited = limit_qdp(st2, geom, global_fixer=False)
     w = geom.spheremp[:, None]
     before = np.sum(st2 * w, axis=(0, 2, 3))
@@ -168,26 +190,26 @@ def prim_limit_task(meta, st2):
 
 
 def chunk_sw_rhs_task(meta, h, v):
-    geom = get_context(meta["ctx"])[meta["chunk"]]
+    geom = _task_geom(meta, "chunk")
     return _path_kernels(meta).sw_rhs(h, v, geom)
 
 
 def chunk_prim_rhs_task(meta, v, T, dp3d):
     from ..homme.element import ElementState
 
-    geom = get_context(meta["ctx"])[meta["chunk"]]
+    geom = _task_geom(meta, "chunk")
     E, L, n = T.shape[0], T.shape[1], T.shape[2]
     state = ElementState(v=v, T=T, dp3d=dp3d, qdp=np.zeros((E, 1, L, n, n)))
     return _path_kernels(meta).compute_rhs(state, geom)
 
 
 def chunk_laplace_wk_task(meta, f):
-    geom = get_context(meta["ctx"])[meta["chunk"]]
+    geom = _task_geom(meta, "chunk")
     return (_path_kernels(meta).laplace_wk(f, geom),)
 
 
 def chunk_vlaplace_task(meta, v):
-    geom = get_context(meta["ctx"])[meta["chunk"]]
+    geom = _task_geom(meta, "chunk")
     return (_path_kernels(meta).vlaplace(v, geom),)
 
 
@@ -232,7 +254,18 @@ class ParallelHommeKernels:
         # Warm the tensor caches now so forked workers inherit them.
         for g in chunk_geoms:
             g.tensors  # noqa: B018 - memoizing property access
-        self._ctx_key = register_context(fresh_context_key("homme-chunks"), chunk_geoms)
+            if exec_path == "fused":
+                g.tensors.fused()
+        # One context entry per chunk (sharded ownership): with shard
+        # affinity each worker only ever resolves its own chunk's
+        # geometry, so its copy-on-write footprint is one chunk, not
+        # the whole element stack.
+        base = fresh_context_key("homme-chunks")
+        self._ctx_key = base
+        self._shard_keys = [
+            register_context(shard_context_key(base, c), g)
+            for c, g in enumerate(chunk_geoms)
+        ]
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else ParallelEngine(
             workers=workers, validate=validate, tracer=tracer,
@@ -243,7 +276,8 @@ class ParallelHommeKernels:
 
     def _fanout(self, task, arrays_of: list[np.ndarray]) -> list[tuple]:
         payloads = [
-            ({"ctx": self._ctx_key, "chunk": c, "path": self.exec_path},
+            ({"ctx": self._shard_keys[c], "chunk": c, "shard": c,
+              "path": self.exec_path},
              tuple(a[lo:hi] for a in arrays_of))
             for c, (lo, hi) in enumerate(self.chunks)
         ]
@@ -275,7 +309,8 @@ class ParallelHommeKernels:
     def close(self) -> None:
         if self._owns_engine:
             self.engine.close()
-        unregister_context(self._ctx_key)
+        for key in self._shard_keys:
+            unregister_context(key)
 
     def __enter__(self) -> "ParallelHommeKernels":
         return self

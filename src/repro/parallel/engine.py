@@ -63,12 +63,13 @@ from __future__ import annotations
 
 import time
 import traceback
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..errors import KernelError
+from ..errors import KernelError, ParallelError
 from ..obs.telemetry import TelemetrySpec, quantile
 from ..obs.tracer import NULL_TRACER
 from .supervisor import (
@@ -82,12 +83,16 @@ from .supervisor import _unpack  # noqa: F401  (re-export for back-compat)
 
 __all__ = [
     "ParallelEngine",
+    "ParallelError",
     "PendingRun",
     "SERIAL_ENGINE",
     "WorkerStats",
     "available_cores",
+    "context_nbytes",
     "register_context",
     "get_context",
+    "touched_context_bytes",
+    "unregister_context",
     "worker_track",
 ]
 
@@ -118,6 +123,67 @@ MAX_TASK_ATTEMPTS = 3
 #: registered for the life of the model, not just through pool start.
 _CONTEXT: dict[str, object] = {}
 
+#: Engines whose fork pool is currently live.  ``register_context``
+#: consults this set: registering while any pool is live is a protocol
+#: error (the live workers forked from an older registry snapshot and
+#: would never see the new entry).
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Bytes of distinct context entries resolved by *this* process (driver
+#: or forked worker), keyed by context key at first ``get_context``.  In
+#: a worker this approximates the copy-on-write context pages the worker
+#: actually touches — the per-worker memory the sharded-ownership model
+#: is designed to shrink.
+_CTX_TOUCHED: dict[str, int] = {}
+
+#: Attribute names skipped by :func:`context_nbytes`: references back to
+#: driver-resident shared structures (the full mesh) and caches of views
+#: that alias arrays counted elsewhere.
+_SIZER_SKIP_ATTRS = frozenset({"mesh", "_views"})
+
+
+def context_nbytes(obj: object) -> int:
+    """Approximate resident bytes of a context object's own arrays.
+
+    Walks ndarrays, containers, and object ``__dict__``\\ s,
+    deduplicating by ``id``.  Objects exposing an integer ``nbytes``
+    (:class:`~repro.homme.tensors.OperatorTensors`,
+    :class:`~repro.homme.tensors.FusedOperands`) report through it,
+    which keeps broadcast views from being double-counted.  Attributes
+    in :data:`_SIZER_SKIP_ATTRS` are excluded, so the result is the
+    *shard-owned* footprint — the quantity the per-worker memory
+    accounting compares between sharded and replicated ownership.
+    """
+    seen: set[int] = set()
+
+    def walk(o: object) -> int:
+        if o is None or isinstance(o, (bool, int, float, complex, str, bytes)):
+            return 0
+        oid = id(o)
+        if oid in seen:
+            return 0
+        seen.add(oid)
+        if isinstance(o, np.ndarray):
+            return int(o.nbytes)
+        if isinstance(o, dict):
+            return sum(walk(v) for v in o.values())
+        if isinstance(o, (list, tuple, set, frozenset)):
+            return sum(walk(v) for v in o)
+        nb = getattr(o, "nbytes", None)
+        if isinstance(nb, (int, np.integer)):
+            return int(nb)
+        d = getattr(o, "__dict__", None)
+        if d is not None:
+            return sum(walk(v) for k, v in d.items() if k not in _SIZER_SKIP_ATTRS)
+        return 0
+
+    return walk(obj)
+
+
+def touched_context_bytes() -> int:
+    """Total bytes of context entries this process has resolved."""
+    return sum(_CTX_TOUCHED.values())
+
 
 def available_cores() -> int:
     """Usable core count (cgroup-aware where the platform exposes it)."""
@@ -134,13 +200,38 @@ def worker_track(worker: int) -> str:
     return f"worker/{worker}"
 
 
+def _live_pool_labels() -> list[str]:
+    return sorted(e.label for e in _LIVE_POOLS if getattr(e, "active", False))
+
+
 def register_context(key: str, obj: object) -> str:
     """Publish a read-only object to (future) workers under ``key``.
 
     Must be called *before* the engine that needs it starts its pool —
     forked workers snapshot the registry at fork time.  Returns the key
     for convenience.
+
+    Registering a *new* key while some other engine's pool is live is
+    fine (the pool that will use it forks later and inherits it), but
+    **overwriting an existing key** while any pool is live raises
+    :class:`~repro.errors.ParallelError`: live workers keep the
+    fork-time object, so they would silently compute with stale data
+    while the driver sees the new one.  The companion guard — a task
+    dispatched to a pool whose fork predates its context key — fires in
+    :meth:`ParallelEngine._dispatch_task`, so both halves of the
+    stale-registry hazard fail loudly at the misuse site instead of as
+    a confusing worker-side lookup error later.
     """
+    if key in _CONTEXT:
+        live = _live_pool_labels()
+        if live:
+            raise ParallelError(
+                f"register_context({key!r}) would overwrite an existing "
+                f"entry while worker pool(s) [{', '.join(live)}] are live: "
+                "forked workers keep the fork-time object, so they would "
+                "silently compute with stale data. Close the live engine "
+                "(or use a fresh key) first."
+            )
     _CONTEXT[key] = obj
     return key
 
@@ -148,17 +239,21 @@ def register_context(key: str, obj: object) -> str:
 def get_context(key: str) -> object:
     """Fetch a registered context object (driver or worker side)."""
     try:
-        return _CONTEXT[key]
+        obj = _CONTEXT[key]
     except KeyError:
         raise KernelError(
             f"parallel context {key!r} was not registered before the pool "
             "forked; register_context must run before ParallelEngine()"
         ) from None
+    if key not in _CTX_TOUCHED:
+        _CTX_TOUCHED[key] = context_nbytes(obj)
+    return obj
 
 
 def unregister_context(key: str) -> None:
     """Drop a registered context object (driver side only)."""
     _CONTEXT.pop(key, None)
+    _CTX_TOUCHED.pop(key, None)
 
 
 @dataclass
@@ -400,6 +495,9 @@ class ParallelEngine:
         self._hb_samples: list[float] = []
         #: In-flight tasks per worker slot (the queue-depth counters).
         self._queue_depth: dict[int, int] = {}
+        #: Context keys each worker slot has been asked to touch —
+        #: the basis of the sharded-ownership memory accounting.
+        self.context_keys_by_slot: dict[int, set[str]] = {}
         self.supervise = bool(supervise)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.result_timeout = float(result_timeout)
@@ -443,6 +541,13 @@ class ParallelEngine:
         self._owned_shm: set[str] = set()
         self._task_seq = 0
         self._rr = 0  # round-robin cursor over live worker slots
+        #: Registry keys present when the pool forked (``None`` while no
+        #: pool is live).  Workers snapshot ``_CONTEXT`` at fork time, so
+        #: dispatching a task whose context key postdates the fork would
+        #: fail with a confusing worker-side lookup error — the dispatch
+        #: guard in :meth:`_dispatch_task` turns that into an immediate
+        #: :class:`~repro.errors.ParallelError`.
+        self._fork_keys: frozenset[str] | None = None
         self._tasks: dict[int, _TaskRecord] = {}
         self._outstanding: list[PendingRun] = []
         self._closed = False
@@ -490,6 +595,8 @@ class ParallelEngine:
             self.stats = [WorkerStats(w) for w in range(self.workers)]
             self.active = True
             self._ping()
+            self._fork_keys = frozenset(_CONTEXT)
+            _LIVE_POOLS.add(self)
         except Exception as exc:  # noqa: BLE001 - any start-up failure => serial
             self._record_degrade("startup", f"pool start failed: {exc!r}")
             self._shutdown_pool()
@@ -553,6 +660,8 @@ class ParallelEngine:
             self.tracer.counter("profile", frame, now, self_n)
 
     def _shutdown_pool(self) -> None:
+        _LIVE_POOLS.discard(self)
+        self._fork_keys = None
         self._tasks.clear()
         for p in self._outstanding:
             p.remaining = 0  # missing results are computed serially at wait()
@@ -634,15 +743,39 @@ class ParallelEngine:
         return self._submit(fn, payloads)
 
     def _dispatch_task(self, tid: int) -> None:
-        """Queue task ``tid`` to the next live worker (round-robin)."""
+        """Queue task ``tid`` to a live worker.
+
+        A task whose meta carries a ``"shard"`` index is pinned to
+        ``shard % len(live_slots)`` — shard affinity: every task of a
+        rank group lands on the same worker, so each worker only faults
+        in its own shard's context pages and the per-slot context
+        accounting stays meaningful.  Tasks without a shard use the
+        round-robin cursor.  Affinity degrades gracefully under
+        respawn because the modulus runs over *live* slots.
+        """
         rec = self._tasks[tid]
         slots = self.supervisor.live_slots()
         if not slots:
             raise KernelError(
                 f"no live workers left to dispatch to ({self.label})")
-        slot = slots[self._rr % len(slots)]
-        self._rr += 1
+        shard = rec.meta.get("shard") if isinstance(rec.meta, dict) else None
+        if shard is not None:
+            slot = slots[int(shard) % len(slots)]
+        else:
+            slot = slots[self._rr % len(slots)]
+            self._rr += 1
         rec.slot = slot
+        ctx = rec.meta.get("ctx") if isinstance(rec.meta, dict) else None
+        if ctx is not None:
+            if self._fork_keys is not None and ctx not in self._fork_keys:
+                raise ParallelError(
+                    f"task context {ctx!r} was registered after engine "
+                    f"{self.label!r} forked its worker pool; live workers "
+                    "hold the fork-time registry snapshot and cannot "
+                    "resolve it. Register every context before creating "
+                    "the ParallelEngine that will use it."
+                )
+            self.context_keys_by_slot.setdefault(slot, set()).add(ctx)
         self.supervisor.handles[slot].task_q.put(
             (tid, rec.attempt, rec.fn, rec.meta, rec.desc))
         depth = self._queue_depth.get(slot, 0) + 1
@@ -692,6 +825,12 @@ class ParallelEngine:
                 self._tasks[tid] = _TaskRecord(pend, idx, fn, meta, desc)
                 self._dispatch_task(tid)
                 pend.remaining += 1
+        except ParallelError:
+            # Protocol misuse (context registered after fork) must surface
+            # to the caller, not silently degrade to serial — but still
+            # tear the pool down so no half-dispatched batch lingers.
+            self._degrade("parallel protocol misuse", kind="dispatch")
+            raise
         except Exception as exc:  # noqa: BLE001 - dispatch failure => pool death
             self._degrade(f"parallel dispatch failed: {exc!r}", kind="dispatch")
             return pend
@@ -1106,6 +1245,37 @@ class ParallelEngine:
                         f"max rel err {err:.3e} (required: bitwise identical)"
                     )
 
+    # -- sharded-context accounting -----------------------------------------
+
+    def context_bytes_by_slot(self) -> dict[int, int]:
+        """Resident bytes of the context entries each worker slot was
+        asked to touch (still-registered entries only).
+
+        Under sharded ownership with shard affinity each slot maps to a
+        disjoint set of per-shard keys, so the per-slot totals are the
+        per-worker context footprints.
+        """
+        return {
+            slot: sum(
+                context_nbytes(_CONTEXT[k]) for k in keys if k in _CONTEXT
+            )
+            for slot, keys in self.context_keys_by_slot.items()
+        }
+
+    def peak_context_bytes(self) -> int:
+        """Largest per-slot context footprint — the sharded per-worker peak."""
+        return max(self.context_bytes_by_slot().values(), default=0)
+
+    def total_context_bytes(self) -> int:
+        """Bytes of every context entry dispatched through this engine —
+        what *each* worker would fault in under replicated ownership
+        (the pre-shard model, where one global key held all shards and
+        round-robin dispatch touched it from every worker)."""
+        if not self.context_keys_by_slot:
+            return 0
+        keys: set[str] = set().union(*self.context_keys_by_slot.values())
+        return sum(context_nbytes(_CONTEXT[k]) for k in keys if k in _CONTEXT)
+
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> dict:
@@ -1135,6 +1305,13 @@ class ParallelEngine:
                 "profile_frames": len(self.profile_frames),
                 "heartbeat_age_max": max(self._hb_samples, default=0.0),
                 "heartbeat_age_p99": quantile(self._hb_samples, 0.99),
+            },
+            "context": {
+                "per_slot_bytes": {
+                    str(k): v for k, v in sorted(self.context_bytes_by_slot().items())
+                },
+                "peak_bytes": self.peak_context_bytes(),
+                "total_bytes": self.total_context_bytes(),
             },
             "per_worker": [
                 {"worker": s.worker, "tasks": s.tasks,

@@ -241,6 +241,11 @@ def _worker_main(slot: int, generation: int, task_q, result_q,
         from ..obs.telemetry import WorkerTelemetry
 
         tel = WorkerTelemetry(telemetry, slot, generation, hb_view)
+    # Lazy import: engine imports this module at load time, so the
+    # reverse import must wait until the worker body actually runs.
+    from .engine import touched_context_bytes
+
+    ctx_reported = 0.0
     try:
         while True:
             item = task_q.get()
@@ -272,12 +277,18 @@ def _worker_main(slot: int, generation: int, task_q, result_q,
                 _chaos_post(chaos, tid, attempt, outs)
                 packet = None
                 if tel is not None:
+                    # context.bytes ships as a delta (packets are folded
+                    # additively driver-side): first touch of a shard's
+                    # context raises it once, steady state adds zero.
+                    ctx_now = float(touched_context_bytes())
                     packet = tel.packet(
                         spans=(("unpack", t0, tc0), ("compute", tc0, tc1)),
                         metrics={"unpack.seconds": tc0 - t0,
                                  "compute.seconds": tc1 - tc0,
+                                 "context.bytes": ctx_now - ctx_reported,
                                  "tasks": 1.0},
                     )
+                    ctx_reported = ctx_now
                 result_q.put(
                     (tid, slot, "ok", outs, crc, t0, time.perf_counter(),
                      getattr(fn, "__name__", str(fn)), packet)

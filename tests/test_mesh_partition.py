@@ -134,3 +134,45 @@ class TestSFCPartition:
         # Every element owned exactly once.
         seen = np.concatenate([p.rank_elements(r) for r in range(nranks)])
         assert sorted(seen.tolist()) == list(range(54))
+
+    def test_mean_boundary_fraction_is_per_rank_mean(self):
+        # Regression: with unequal shard sizes the mean of per-rank
+        # fractions differs from the element-weighted global mask mean
+        # (the old, buggy value).  SFCPartition(6, 5) splits 216
+        # elements as [44, 43, 43, 43, 43].
+        p = SFCPartition(6, 5)
+        per_rank = [
+            len(p.boundary_elements(r)) / len(p.rank_elements(r))
+            for r in range(5)
+        ]
+        expected = float(np.mean(per_rank))
+        global_mask_mean = float(p.boundary_mask.mean())
+        assert expected != global_mask_mean  # the case that distinguishes
+        assert p.mean_boundary_fraction() == pytest.approx(expected, abs=0)
+        assert p.mean_boundary_fraction() != global_mask_mean
+
+    @given(
+        ne=st.integers(min_value=2, max_value=6),
+        nranks=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_halo_graph_symmetric_and_conserving(self, ne, nranks):
+        # Halo symmetry: a's view of the (edges, corners) it shares
+        # with b must equal b's view of a, for every neighbor pair —
+        # otherwise the two sides of an exchange would post mismatched
+        # message sizes and the DSS would deadlock or corrupt sums.
+        p = SFCPartition(ne, nranks)
+        for a in range(nranks):
+            for b, shared in p.halo(a).neighbors.items():
+                assert p.halo(b).neighbors[a] == shared
+                assert b != a
+        # Per-rank message bytes conservation: every byte sent is a
+        # byte received (pairwise, hence also in total).
+        msgs = [p.halo(r).message_bytes(nlev=8, nfields=2)
+                for r in range(nranks)]
+        for a in range(nranks):
+            for b, nbytes in msgs[a].items():
+                assert msgs[b][a] == nbytes
+        total_sent = sum(sum(m.values()) for m in msgs)
+        total_recv = sum(msgs[b][a] for b in range(nranks) for a in msgs[b])
+        assert total_sent == total_recv

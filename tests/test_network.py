@@ -38,6 +38,50 @@ class TestTopology:
         with pytest.raises(TopologyError):
             TaihuLightTopology(nodes=0)
 
+    def test_partial_supernode_semantics(self):
+        # 300 nodes at 256 nodes/supernode: supernode 0 is full, the
+        # trailing supernode holds the 44 leftover nodes.  `supernodes`
+        # ceils; membership is pure integer division.
+        t = TaihuLightTopology(nodes=300)
+        assert t.supernodes == 2
+        assert t.nodes_in_supernode(0) == 256
+        assert t.nodes_in_supernode(1) == 44
+        assert sum(t.nodes_in_supernode(s) for s in range(t.supernodes)) \
+            == t.nodes
+        assert t.supernode_of_node(255) == 0
+        assert t.supernode_of_node(256) == 1
+        assert t.supernode_of_node(299) == 1
+        # Hops across the full/partial supernode boundary are still 2.
+        last_full = t.ranks_per_node * 255       # a rank on node 255
+        first_partial = t.ranks_per_node * 256   # a rank on node 256
+        assert t.hops(last_full, first_partial) == 2
+
+    def test_partial_supernode_queries_validated(self):
+        t = TaihuLightTopology(nodes=300)
+        with pytest.raises(TopologyError):
+            t.nodes_in_supernode(2)
+        with pytest.raises(TopologyError):
+            t.nodes_in_supernode(-1)
+        with pytest.raises(TopologyError):
+            t.supernode_of_node(300)
+
+    def test_reduction_groups_cover_all_ranks(self):
+        t = TaihuLightTopology(nodes=300)
+        nranks = 4 * 258  # spills 8 ranks into the partial supernode
+        node_ranks, sn_nodes = t.reduction_groups(nranks)
+        ranks = sorted(r for rs in node_ranks.values() for r in rs)
+        assert ranks == list(range(nranks))
+        nodes = sorted(n for ns in sn_nodes.values() for n in ns)
+        assert nodes == sorted(node_ranks)
+        for node, rs in node_ranks.items():
+            assert all(t.node_of_rank(r) == node for r in rs)
+        for sn, ns in sn_nodes.items():
+            assert all(t.supernode_of_node(n) == sn for n in ns)
+        with pytest.raises(TopologyError):
+            t.reduction_groups(0)
+        with pytest.raises(TopologyError):
+            t.reduction_groups(t.max_ranks + 1)
+
 
 class TestCostModel:
     @pytest.fixture
@@ -182,6 +226,42 @@ class TestSimMPI:
         assert mpi.pending_messages() == 1
         mpi.wait(mpi.irecv(1, 0))
         assert mpi.pending_messages() == 0
+
+    @pytest.mark.parametrize("nranks", [1, 4, 8, 16])
+    def test_hierarchical_allreduce_values_bitwise_match_flat(self, nranks):
+        rng = np.random.default_rng(nranks)
+        contribs = [rng.standard_normal(5) for _ in range(nranks)]
+        flat = SimMPI(nranks).allreduce([c.copy() for c in contribs])
+        hier = SimMPI(nranks, allreduce_algorithm="hierarchical").allreduce(
+            [c.copy() for c in contribs]
+        )
+        # Same sum in the same order: bitwise identical, not just close.
+        assert np.array_equal(flat, hier)
+
+    def test_hierarchical_allreduce_on_node_cheaper_than_flat(self):
+        # 4 ranks share one node: the hierarchical tree runs entirely on
+        # hop-0 links, beating the flat recursive-doubling estimate that
+        # charges some hop-1 rounds.
+        contribs = [np.zeros(64) + r for r in range(4)]
+        flat = SimMPI(4)
+        flat.allreduce([c.copy() for c in contribs])
+        hier = SimMPI(4, allreduce_algorithm="hierarchical")
+        hier.allreduce([c.copy() for c in contribs])
+        assert hier.max_time() < flat.max_time()
+        assert hier.hierarchical_allreduces == 1
+        assert flat.hierarchical_allreduces == 0
+
+    def test_allreduce_per_call_algorithm_override(self):
+        mpi = SimMPI(4)  # default flat
+        mpi.allreduce([np.zeros(8) for _ in range(4)],
+                      algorithm="hierarchical")
+        assert mpi.hierarchical_allreduces == 1
+        with pytest.raises(SimMPIError):
+            mpi.allreduce([np.zeros(8) for _ in range(4)], algorithm="ring")
+
+    def test_unknown_allreduce_algorithm_rejected(self):
+        with pytest.raises(SimMPIError):
+            SimMPI(4, allreduce_algorithm="ring")
 
     @given(nbytes=st.integers(min_value=0, max_value=1 << 20))
     @settings(max_examples=30, deadline=None)

@@ -22,9 +22,13 @@ from repro.obs import MetricsRegistry, Tracer, collect_parallel_engine
 from repro.parallel import (
     SERIAL_ENGINE,
     ParallelEngine,
+    ParallelError,
     available_cores,
+    context_nbytes,
     cross_validate_parallel,
     parallel_homme_execution,
+    register_context,
+    unregister_context,
     worker_track,
 )
 from repro.parallel.engine import PIPELINE_BANKS, _ping_task
@@ -548,3 +552,101 @@ class TestObservability:
             assert tracks & {worker_track(0), worker_track(1)}
         finally:
             e.close()
+
+
+class TestShardedContexts:
+    """Sharded geometry ownership (DESIGN.md §15): per-shard context
+    registry entries, shard-affinity dispatch, fork-snapshot guards,
+    and the per-worker memory accounting."""
+
+    def test_register_overwrite_while_pool_live_raises(self):
+        key = register_context("test-ctx/overwrite", np.arange(4.0))
+        try:
+            with ParallelEngine(workers=2) as e:
+                if not e.active:
+                    pytest.skip(f"pool unavailable: {e.fallback_reason}")
+                with pytest.raises(ParallelError, match="overwrite"):
+                    register_context(key, np.arange(8.0))
+            # Pool closed: overwriting is allowed again.
+            register_context(key, np.arange(8.0))
+        finally:
+            unregister_context(key)
+
+    def test_dispatch_of_post_fork_context_raises(self):
+        e = ParallelEngine(workers=2)
+        key = None
+        try:
+            if not e.active:
+                pytest.skip(f"pool unavailable: {e.fallback_reason}")
+            key = register_context("test-ctx/post-fork", np.arange(4.0))
+            with pytest.raises(ParallelError, match="after engine"):
+                e.run(_ping_task, [({"add": 1.0, "ctx": key},
+                                    (np.arange(3.0),))])
+        finally:
+            e.close()
+            if key is not None:
+                unregister_context(key)
+
+    def test_new_key_for_fresh_engine_is_allowed_while_pool_live(self):
+        # The legitimate multi-engine pattern: registering a *new* key
+        # while another engine's pool is live is fine — the engine that
+        # uses it forks later and inherits the entry.
+        with ParallelEngine(workers=2, label="first") as first:
+            if not first.active:
+                pytest.skip(f"pool unavailable: {first.fallback_reason}")
+            key = register_context("test-ctx/fresh", np.arange(16.0))
+            try:
+                with ParallelEngine(workers=2, label="second") as second:
+                    if not second.active:
+                        pytest.skip(
+                            f"pool unavailable: {second.fallback_reason}")
+                    outs = second.run(
+                        _ping_task,
+                        [({"add": 1.0, "ctx": key}, (np.arange(3.0),))],
+                    )
+                    assert np.array_equal(outs[0][0], np.arange(3.0) + 1.0)
+            finally:
+                unregister_context(key)
+
+    def test_sharded_sw_context_accounting(self):
+        mesh = CubedSphereMesh(4, 4)
+        model = DistributedShallowWater(mesh, nranks=4, workers=2)
+        try:
+            if not model.engine.active:
+                pytest.skip(
+                    f"pool unavailable: {model.engine.fallback_reason}")
+            model.step()
+            per_slot = model.engine.context_keys_by_slot
+            assert len(per_slot) == 2
+            # Shard affinity: each worker touched only its own shards.
+            all_keys = [k for keys in per_slot.values() for k in keys]
+            assert len(all_keys) == len(set(all_keys))
+            peak = model.engine.peak_context_bytes()
+            total = model.engine.total_context_bytes()
+            assert 0 < peak < total
+            desc = model.engine.describe()
+            assert desc["context"]["peak_bytes"] == peak
+            assert desc["context"]["total_bytes"] == total
+        finally:
+            model.close()
+
+    def test_task_geom_resolves_shard_and_legacy_list(self):
+        from repro.parallel.dycore import _task_geom
+
+        items = ["a", "b", "c"]
+        key_list = register_context("test-ctx/legacy-list", items)
+        key_item = register_context("test-ctx/shard-item", "solo")
+        try:
+            assert _task_geom({"ctx": key_list, "rank": 1}) == "b"
+            assert _task_geom({"ctx": key_list, "chunk": 2},
+                              index_key="chunk") == "c"
+            assert _task_geom({"ctx": key_item, "rank": 0}) == "solo"
+        finally:
+            unregister_context(key_list)
+            unregister_context(key_item)
+
+    def test_context_nbytes_counts_arrays_once(self):
+        arr = np.zeros(128)
+        obj = {"a": arr, "b": arr, "nested": [arr, np.ones(16)]}
+        # Deduplicated by id: the shared array counts once.
+        assert context_nbytes(obj) == arr.nbytes + np.ones(16).nbytes
